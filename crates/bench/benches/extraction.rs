@@ -1,0 +1,49 @@
+//! Fig. 4 as a Criterion bench: full-inversion (tVPEC) vs windowed
+//! (wVPEC) model extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpec_core::windowed::windowed_geometric;
+use vpec_core::VpecModel;
+use vpec_extract::{extract, ExtractionConfig, Parasitics};
+use vpec_geometry::BusSpec;
+
+fn parasitics(bits: usize) -> Parasitics {
+    extract(
+        &BusSpec::new(bits).build(),
+        &ExtractionConfig::paper_default(),
+    )
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4-extraction");
+    g.sample_size(10);
+    for bits in [64usize, 128, 256] {
+        let para = parasitics(bits);
+        g.bench_with_input(
+            BenchmarkId::new("full-inversion", bits),
+            &para,
+            |b, para| {
+                b.iter(|| VpecModel::full(para).expect("invertible"));
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("windowed-b8", bits), &para, |b, para| {
+            b.iter(|| windowed_geometric(para, 8).expect("valid window"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_parasitic_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parasitic-extraction");
+    g.sample_size(10);
+    for bits in [64usize, 256] {
+        let layout = BusSpec::new(bits).build();
+        g.bench_with_input(BenchmarkId::new("bus", bits), &layout, |b, layout| {
+            b.iter(|| extract(layout, &ExtractionConfig::paper_default()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_parasitic_extraction);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the linear-algebra kernels underpinning the VPEC
+//! flow: dense inversion (full VPEC), dense Cholesky (window solves) and
+//! sparse LU (MNA systems).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpec_extract::{extract, ExtractionConfig};
+use vpec_geometry::BusSpec;
+use vpec_numerics::{Cholesky, DenseMatrix, LuFactor, SparseLu};
+
+fn inductance_matrix(bits: usize) -> DenseMatrix<f64> {
+    extract(
+        &BusSpec::new(bits).build(),
+        &ExtractionConfig::paper_default(),
+    )
+    .inductance
+}
+
+fn bench_dense_factorizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense-factor");
+    g.sample_size(10);
+    for bits in [32usize, 64, 128] {
+        let l = inductance_matrix(bits);
+        g.bench_with_input(BenchmarkId::new("cholesky", bits), &l, |b, l| {
+            b.iter(|| Cholesky::new(l).expect("s.p.d."));
+        });
+        g.bench_with_input(BenchmarkId::new("lu", bits), &l, |b, l| {
+            b.iter(|| LuFactor::new(l).expect("nonsingular"));
+        });
+        g.bench_with_input(BenchmarkId::new("cholesky-inverse", bits), &l, |b, l| {
+            b.iter(|| Cholesky::new(l).expect("s.p.d.").inverse().expect("ok"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse-lu");
+    g.sample_size(10);
+    for n in [256usize, 1024] {
+        // Pentadiagonal system, the shape of a sparsified MNA matrix.
+        let mut coo = vpec_numerics::CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0).unwrap();
+            for d in 1..=2 {
+                if i + d < n {
+                    coo.push(i, i + d, -1.0).unwrap();
+                    coo.push(i + d, i, -1.0).unwrap();
+                }
+            }
+        }
+        let csr = coo.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("factor", n), &csr, |bch, m| {
+            bch.iter(|| SparseLu::new(m).expect("nonsingular"));
+        });
+        let lu = SparseLu::new(&csr).unwrap();
+        g.bench_with_input(BenchmarkId::new("solve", n), &lu, |bch, lu| {
+            bch.iter(|| lu.solve(&b).expect("ok"));
+        });
+        // Dense comparison point at the smaller size.
+        if n <= 256 {
+            let dense = csr.to_dense();
+            g.bench_with_input(BenchmarkId::new("dense-factor", n), &dense, |bch, m| {
+                bch.iter(|| LuFactor::new(m).expect("nonsingular"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dense_factorizations, bench_sparse_lu);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figs. 2/8 as Criterion benches: transient simulation cost of the PEEC,
+//! full-VPEC and gwVPEC netlists on the same bus (who wins and how the gap
+//! scales is the paper's Fig. 8(a)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpec_circuit::TransientSpec;
+use vpec_core::harness::{Experiment, ModelKind};
+use vpec_core::DriveConfig;
+use vpec_extract::ExtractionConfig;
+use vpec_geometry::BusSpec;
+
+fn bench_transient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8-transient");
+    g.sample_size(10);
+    for bits in [16usize, 64] {
+        let exp = Experiment::new(
+            BusSpec::new(bits).build(),
+            &ExtractionConfig::paper_default(),
+            DriveConfig::paper_default(),
+        );
+        let spec = TransientSpec::new(0.2e-9, 1e-12);
+        for kind in [
+            ModelKind::Peec,
+            ModelKind::VpecFull,
+            ModelKind::WVpecGeometric { b: 8 },
+        ] {
+            let built = exp.build(kind).expect("build");
+            let label = match kind {
+                ModelKind::Peec => "peec",
+                ModelKind::VpecFull => "full-vpec",
+                _ => "gwvpec-b8",
+            };
+            g.bench_with_input(BenchmarkId::new(label, bits), &built, |b, built| {
+                b.iter(|| built.run_transient(&spec).expect("transient"));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_ac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2-ac");
+    g.sample_size(10);
+    let exp = Experiment::new(
+        BusSpec::new(5).build(),
+        &ExtractionConfig::paper_default(),
+        DriveConfig::paper_default(),
+    );
+    let spec = vpec_circuit::ac::AcSpec::log_sweep(1e6, 1e10, 4);
+    for kind in [ModelKind::Peec, ModelKind::VpecFull] {
+        let built = exp.build(kind).expect("build");
+        let label = if kind == ModelKind::Peec {
+            "peec"
+        } else {
+            "full-vpec"
+        };
+        g.bench_with_input(BenchmarkId::new(label, 5), &built, |b, built| {
+            b.iter(|| built.run_ac(&spec).expect("ac"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transient, bench_ac);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Tables II–IV as Criterion benches: the cost of the tVPEC/wVPEC
+//! sparsification operators themselves (truncation passes over `Ĝ` and
+//! submatrix solves), plus the passivity check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpec_core::truncation::{truncate_geometric, truncate_numerical};
+use vpec_core::windowed::windowed_numerical;
+use vpec_core::VpecModel;
+use vpec_extract::{extract, ExtractionConfig};
+use vpec_geometry::{BusSpec, Layout, SpiralSpec};
+
+fn setup(bits: usize) -> (VpecModel, Layout, vpec_extract::Parasitics) {
+    let layout = BusSpec::new(bits).build();
+    let para = extract(&layout, &ExtractionConfig::paper_default());
+    (VpecModel::full(&para).expect("invertible"), layout, para)
+}
+
+fn bench_truncations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparsification");
+    g.sample_size(10);
+    let (full, layout, para) = setup(128);
+    g.bench_function(BenchmarkId::new("geometric-truncate", 128), |b| {
+        b.iter(|| truncate_geometric(&full, &layout, 8, 1).expect("valid"));
+    });
+    g.bench_function(BenchmarkId::new("numerical-truncate", 128), |b| {
+        b.iter(|| truncate_numerical(&full, 0.01).expect("valid"));
+    });
+    g.bench_function(BenchmarkId::new("numerical-window", 128), |b| {
+        b.iter(|| windowed_numerical(&para, 0.3).expect("valid"));
+    });
+    g.finish();
+}
+
+fn bench_passivity_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("passivity");
+    g.sample_size(10);
+    let (full, _, _) = setup(64);
+    g.bench_function(BenchmarkId::new("report", 64), |b| {
+        b.iter(|| full.passivity_report());
+    });
+    let spiral = SpiralSpec::paper_three_turn();
+    let cfg = ExtractionConfig::paper_default()
+        .with_substrate(spiral.substrate_spec().expect("substrate"));
+    let spara = extract(&spiral.build(), &cfg);
+    g.bench_function(BenchmarkId::new("spiral-nwvpec", 92), |b| {
+        b.iter(|| windowed_numerical(&spara, 1.5e-4).expect("valid"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_truncations, bench_passivity_check);
+criterion_main!(benches);

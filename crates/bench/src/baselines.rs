@@ -1,0 +1,185 @@
+//! **EXP-B (extension)** — VPEC sparsification vs the prior-art
+//! shift-truncation baseline (Krauter–Pileggi shell model, the paper's
+//! reference \[9\]).
+//!
+//! The paper's introduction argues shift truncation is hard to tune ("it
+//! is difficult to determine the shell radius to obtain the desired
+//! accuracy"). This experiment measures that: over a bus, sweep shell
+//! radii and compare victim-waveform accuracy against tVPEC/wVPEC at the
+//! matched element count, plus the localized VPEC for reference.
+
+use crate::report::{pct, secs, volts, Table};
+use vpec_circuit::metrics::{peak_abs, WaveformDiff};
+use vpec_circuit::TransientSpec;
+use vpec_core::harness::{Experiment, ModelKind};
+use vpec_core::DriveConfig;
+use vpec_extract::ExtractionConfig;
+use vpec_geometry::{um, BusSpec};
+
+/// Outcome of the baseline comparison.
+#[derive(Debug, Clone)]
+pub struct BaselinesOutcome {
+    /// `(label, sparse_factor, avg_diff_volts)` per model.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Victim noise peak (volts).
+    pub noise_peak: f64,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the comparison on a `bits`-line bus.
+///
+/// # Panics
+///
+/// Panics if a model fails to build or simulate.
+pub fn run(bits: usize) -> BaselinesOutcome {
+    let exp = Experiment::new(
+        BusSpec::new(bits).build(),
+        &ExtractionConfig::paper_default(),
+        DriveConfig::paper_default(),
+    );
+    let victim = 1;
+    let tspec = TransientSpec::new(0.5e-9, 1e-12);
+
+    let peec = exp.build(ModelKind::Peec).expect("PEEC build");
+    let (rp, peec_secs) = peec.run_transient(&tspec).expect("PEEC transient");
+    let wp = peec.far_voltage(&rp, victim);
+    let noise_peak = peak_abs(&wp);
+
+    let kinds = [
+        // Shell radii spanning ±2, ±5 and ±10 neighbours at 3 µm pitch.
+        ModelKind::ShiftTruncated { r0: um(7.0) },
+        ModelKind::ShiftTruncated { r0: um(16.0) },
+        ModelKind::ShiftTruncated { r0: um(31.0) },
+        // The VPEC routes at comparable sparsities.
+        ModelKind::TVpecGeometric { nw: 4, nl: 1 },
+        ModelKind::TVpecGeometric { nw: 10, nl: 1 },
+        ModelKind::TVpecGeometric { nw: 20, nl: 1 },
+        ModelKind::WVpecGeometric { b: 10 },
+        ModelKind::VpecLocalized,
+    ];
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(&[
+        "model",
+        "L/Ĝ sparsity",
+        "sim time",
+        "avg |dV|",
+        "% of noise peak",
+        "passive?",
+    ]);
+    for kind in kinds {
+        let built = exp.build(kind).expect("build");
+        let (r, secs_run) = built.run_transient(&tspec).expect("transient");
+        let w = built.far_voltage(&r, victim);
+        let d = WaveformDiff::compare(&wp, &w);
+        let sf = built.sparse_factor.unwrap_or(1.0);
+        // Passivity: VPEC kinds are provably passive; shift truncation is
+        // p.s.d. by construction — report both as certified.
+        rows.push((kind.label(), sf, d.avg_abs));
+        t.row(&[
+            kind.label(),
+            pct(sf),
+            secs(secs_run),
+            volts(d.avg_abs),
+            format!("{:.2}%", d.avg_pct_of_peak()),
+            "yes".into(),
+        ]);
+    }
+
+    let mut report = format!(
+        "== Baselines (extension): shift truncation [9] vs VPEC sparsification, {bits}-bit bus ==\n\
+         PEEC reference: sim {} | victim noise peak {}\n\n",
+        secs(peec_secs),
+        volts(noise_peak)
+    );
+    report.push_str(&t.render());
+    report.push_str(
+        "\npaper's critique of [9]: \"it is difficult to determine the shell radius to obtain\n\
+         the desired accuracy\" — compare the error spread across shell radii with the smooth\n\
+         tVPEC window/threshold trade-off\n",
+    );
+    report.push('\n');
+    report.push_str(&return_limited_sweep(bits / 2));
+
+    BaselinesOutcome {
+        rows,
+        noise_peak,
+        report,
+    }
+}
+
+/// The return-limited \[8\] shield-density sweep: reference is the full
+/// PEEC model *with the shields present*, so only the model's locality
+/// assumption is measured.
+fn return_limited_sweep(signals: usize) -> String {
+    use vpec_circuit::transient::run_transient;
+    use vpec_core::baselines::return_limited;
+
+    let tspec = TransientSpec::new(0.5e-9, 1e-12);
+    let mut t = Table::new(&[
+        "P/G grid",
+        "victim avg |dV|",
+        "% of noise peak",
+        "K elements kept",
+    ]);
+    for every in [2usize, 4, 8] {
+        let layout = BusSpec::new(signals).shield_every(every).build();
+        let para = vpec_extract::extract(&layout, &ExtractionConfig::paper_default());
+        let sigs = layout.signal_nets();
+        let drive = DriveConfig::paper_default().aggressors(vec![sigs[0]]);
+        let exp = Experiment {
+            layout: layout.clone(),
+            parasitics: para.clone(),
+            drive: drive.clone(),
+        };
+        let peec = exp.build(ModelKind::Peec).expect("PEEC build");
+        let (rp, _) = peec.run_transient(&tspec).expect("PEEC transient");
+        let wp = rp.voltage(peec.model.far_nodes[sigs[1]]);
+        let (mc, signal_nets) = return_limited(&layout, &para, &drive).expect("RL build");
+        let pos = signal_nets
+            .iter()
+            .position(|&k| k == sigs[1])
+            .expect("victim is a signal");
+        let rr = run_transient(&mc.circuit, &tspec).expect("RL transient");
+        let wr = rr.voltage(mc.far_nodes[pos]);
+        let d = WaveformDiff::compare(&wp, &wr);
+        let n_mutual = mc
+            .circuit
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, vpec_circuit::Element::Mutual { .. }))
+            .count();
+        t.row(&[
+            format!("shield every {every}"),
+            volts(d.avg_abs),
+            format!("{:.2}%", d.avg_pct_of_peak()),
+            n_mutual.to_string(),
+        ]);
+    }
+    format!(
+        "-- return-limited [8] vs shield density, {signals} signal lines --\n\n{}\n\
+         paper on [8]: \"this model loses accuracy when the P/G grid is sparsely distributed\"\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_comparison_runs() {
+        let out = run(16);
+        assert_eq!(out.rows.len(), 8);
+        assert!(out.noise_peak > 1e-3);
+        // Shift truncation sparsifies.
+        let (_, sf_shift, _) = &out.rows[0];
+        assert!(*sf_shift < 1.0);
+        // Growing the shell reduces (or keeps) the error.
+        let e_small = out.rows[0].2;
+        let e_big = out.rows[2].2;
+        assert!(e_big <= e_small * 1.2, "larger shell should not be worse");
+        assert!(out.report.contains("Baselines"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Report formatting helpers shared by the experiment modules.
+
+use std::fmt::Write as _;
+
+/// A plain-text table builder with aligned columns.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", c, w = width[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &width));
+        let total: usize = width.iter().sum::<usize>() + 2 * ncol;
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &width));
+        }
+        out
+    }
+}
+
+/// Formats seconds with sensible precision.
+pub fn secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Formats a speedup ratio.
+pub fn speedup(base: f64, fast: f64) -> String {
+    if fast <= 0.0 {
+        "—".to_string()
+    } else {
+        format!("{:.1}x", base / fast)
+    }
+}
+
+/// Formats volts with µV/mV/V scaling.
+pub fn volts(v: f64) -> String {
+    let a = v.abs();
+    if a < 1e-3 {
+        format!("{:.3} µV", v * 1e6)
+    } else if a < 1.0 {
+        format!("{:.3} mV", v * 1e3)
+    } else {
+        format!("{v:.4} V")
+    }
+}
+
+/// Formats a fraction as percent.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["model", "time"]);
+        t.row(&["PEEC".into(), "1.00 s".into()]);
+        t.row(&["gwVPEC(b=8)".into(), "0.01 s".into()]);
+        let s = t.render();
+        assert!(s.contains("model"));
+        assert!(s.contains("gwVPEC"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_checks_width() {
+        Table::new(&["a", "b"]).row(&["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(2.0), "2.00 s");
+        assert!(secs(0.5).contains("ms"));
+        assert!(secs(1e-5).contains("µs"));
+        assert_eq!(speedup(10.0, 1.0), "10.0x");
+        assert_eq!(speedup(1.0, 0.0), "—");
+        assert!(volts(0.0002).contains("µV"));
+        assert!(volts(0.02).contains("mV"));
+        assert!(volts(1.5).contains('V'));
+        assert_eq!(pct(0.305), "30.50%");
+    }
+}

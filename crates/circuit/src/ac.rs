@@ -1,0 +1,225 @@
+//! AC (small-signal frequency-domain) analysis.
+//!
+//! Solves the complex MNA system `(G + jωC_stamps)·x = b(ω)` at each sweep
+//! point. Used by the Fig. 2(b) reproduction (1 Hz – 10 GHz response of the
+//! 5-bit bus under PEEC, full VPEC and localized VPEC models).
+
+use crate::elements::Element;
+use crate::error::CircuitError;
+use crate::mna::{add_source_rhs, assemble, MnaLayout};
+use crate::netlist::Circuit;
+use crate::result::AcResult;
+use crate::solver::{Factored, SolverKind};
+use vpec_numerics::Complex64;
+
+/// AC sweep specification.
+#[derive(Debug, Clone)]
+pub struct AcSpec {
+    /// Frequencies to solve at, hertz (each must be positive).
+    pub frequencies: Vec<f64>,
+    /// Linear-solver backend.
+    pub solver: SolverKind,
+}
+
+impl AcSpec {
+    /// A logarithmic sweep with `points_per_decade` points from `f_start`
+    /// to `f_stop` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are non-positive or inverted.
+    pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Self {
+        assert!(
+            f_start > 0.0 && f_stop > f_start,
+            "need 0 < f_start < f_stop"
+        );
+        assert!(points_per_decade > 0, "need at least one point per decade");
+        let decades = (f_stop / f_start).log10();
+        let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+        let frequencies = (0..n)
+            .map(|k| f_start * 10f64.powf(k as f64 / points_per_decade as f64))
+            .map(|f| f.min(f_stop))
+            .collect();
+        AcSpec {
+            frequencies,
+            solver: SolverKind::Auto,
+        }
+    }
+
+    /// A sweep over explicit frequencies.
+    pub fn points(frequencies: Vec<f64>) -> Self {
+        AcSpec {
+            frequencies,
+            solver: SolverKind::Auto,
+        }
+    }
+
+    /// Selects the solver backend.
+    #[must_use]
+    pub fn solver(mut self, s: SolverKind) -> Self {
+        self.solver = s;
+        self
+    }
+}
+
+/// Runs the AC sweep. Sources contribute their AC magnitude/phase; sources
+/// without an AC spec are quiet (their branch rows pin 0 V).
+///
+/// # Errors
+///
+/// * [`CircuitError::InvalidSpec`] for an empty sweep or non-positive
+///   frequencies.
+/// * [`CircuitError::SingularSystem`] if the complex MNA matrix is
+///   singular at some frequency.
+pub fn run_ac(ckt: &Circuit, spec: &AcSpec) -> Result<AcResult, CircuitError> {
+    if spec.frequencies.is_empty() {
+        return Err(CircuitError::InvalidSpec {
+            reason: "AC sweep needs at least one frequency",
+        });
+    }
+    if spec.frequencies.iter().any(|&f| !f.is_finite() || f <= 0.0) {
+        return Err(CircuitError::InvalidSpec {
+            reason: "AC frequencies must be positive and finite",
+        });
+    }
+    let layout = MnaLayout::new(ckt);
+    let mut data = Vec::with_capacity(spec.frequencies.len());
+    for &f in &spec.frequencies {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let a = assemble::<Complex64>(
+            ckt,
+            &layout,
+            |c| Complex64::new(0.0, omega * c),
+            |l| Complex64::new(0.0, omega * l),
+        );
+        let mut rhs = vec![Complex64::ZERO; layout.dim];
+        for (idx, e) in ckt.elements().iter().enumerate() {
+            match e {
+                Element::VSource { ac: Some((m, p)), .. }
+                | Element::ISource { ac: Some((m, p)), .. } => {
+                    add_source_rhs(&mut rhs, &layout, idx, e, Complex64::from_polar(*m, *p));
+                }
+                _ => {}
+            }
+        }
+        let factored = Factored::factor(&a, spec.solver).map_err(|e| match e {
+            CircuitError::SingularSystem { .. } => {
+                CircuitError::SingularSystem { analysis: "ac" }
+            }
+            other => other,
+        })?;
+        data.push(factored.solve(&rhs)?);
+    }
+    Ok(AcResult {
+        freqs: spec.frequencies.clone(),
+        data,
+        n_nodes: layout.n_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_lowpass_corner() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource_ac("V1", inp, Circuit::GROUND, Waveform::dc(0.0), 1.0, 0.0)
+            .unwrap();
+        let r = 1000.0;
+        let cap = 1e-9;
+        c.add_resistor("R1", inp, out, r).unwrap();
+        c.add_capacitor("C1", out, Circuit::GROUND, cap).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * cap);
+        let res = run_ac(&c, &AcSpec::points(vec![fc / 100.0, fc, fc * 100.0])).unwrap();
+        let mag = res.magnitude(out);
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband flat, got {}", mag[0]);
+        assert!(
+            (mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
+            "-3 dB at corner, got {}",
+            mag[1]
+        );
+        assert!(mag[2] < 0.02, "strong rolloff, got {}", mag[2]);
+    }
+
+    #[test]
+    fn rl_highpass_behaviour() {
+        // Series L into resistor: v(out)/v(in) = R/(R + jωL) — low-pass in
+        // this arrangement; check both extremes.
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource_ac("V1", inp, Circuit::GROUND, Waveform::dc(0.0), 1.0, 0.0)
+            .unwrap();
+        c.add_inductor("L1", inp, out, 1e-6).unwrap();
+        c.add_resistor("R1", out, Circuit::GROUND, 100.0).unwrap();
+        let fc = 100.0 / (2.0 * std::f64::consts::PI * 1e-6);
+        let res = run_ac(&c, &AcSpec::points(vec![fc / 1000.0, fc * 1000.0])).unwrap();
+        let mag = res.magnitude(out);
+        assert!((mag[0] - 1.0).abs() < 1e-3);
+        assert!(mag[1] < 0.01);
+    }
+
+    #[test]
+    fn lc_resonance_peaks() {
+        // Series RLC: current peaks at ω = 1/√(LC).
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        c.add_vsource_ac("V1", inp, Circuit::GROUND, Waveform::dc(0.0), 1.0, 0.0)
+            .unwrap();
+        c.add_resistor("R1", inp, mid, 1.0).unwrap();
+        c.add_inductor("L1", mid, out, 1e-9).unwrap();
+        c.add_capacitor("C1", out, Circuit::GROUND, 1e-12).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-9f64 * 1e-12).sqrt());
+        let res = run_ac(
+            &c,
+            &AcSpec::points(vec![f0 / 10.0, f0, f0 * 10.0]),
+        )
+        .unwrap();
+        // At resonance the cap voltage is Q times the input; off resonance
+        // it falls away.
+        let mag = res.magnitude(out);
+        assert!(mag[1] > mag[0] && mag[1] > mag[2], "resonant peak: {mag:?}");
+    }
+
+    #[test]
+    fn log_sweep_covers_range() {
+        let s = AcSpec::log_sweep(1.0, 1e10, 10);
+        assert!((s.frequencies[0] - 1.0).abs() < 1e-12);
+        assert!(s.frequencies.iter().all(|&f| f <= 1e10 * (1.0 + 1e-9)));
+        assert!(s.frequencies.len() >= 100);
+        // Monotonic.
+        assert!(s.frequencies.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        assert!(run_ac(&c, &AcSpec::points(vec![])).is_err());
+        assert!(run_ac(&c, &AcSpec::points(vec![-1.0])).is_err());
+    }
+
+    #[test]
+    fn quiet_source_pins_zero() {
+        // A source with no AC spec acts as an AC short (0 V) — the paper's
+        // "all other bits are quiet" driver model.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        c.add_resistor("R1", a, b, 1.0).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 1.0).unwrap();
+        let res = run_ac(&c, &AcSpec::points(vec![1e6])).unwrap();
+        assert!(res.magnitude(a)[0] < 1e-12);
+        assert!(res.magnitude(b)[0] < 1e-12);
+    }
+}

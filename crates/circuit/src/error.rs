@@ -1,0 +1,104 @@
+//! Error type for netlist construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+use vpec_numerics::NumericsError;
+
+/// Errors produced while building or analyzing a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An element value was non-physical (e.g. `R ≤ 0`, NaN capacitance).
+    InvalidValue {
+        /// Name of the offending element.
+        element: String,
+        /// Description of what was wrong.
+        reason: &'static str,
+    },
+    /// An element referenced a node id that does not exist in the circuit.
+    UnknownNode {
+        /// Name of the offending element.
+        element: String,
+    },
+    /// A current-controlled source referenced an element that is not a
+    /// branch (voltage-source-like) element.
+    BadSenseElement {
+        /// Name of the offending controlled source.
+        element: String,
+    },
+    /// The MNA matrix was singular — typically a floating node or a loop
+    /// of ideal voltage sources.
+    SingularSystem {
+        /// Analysis that failed (`"dc"`, `"transient"`, `"ac"`).
+        analysis: &'static str,
+    },
+    /// An analysis specification was invalid (e.g. `t_stop ≤ 0`).
+    InvalidSpec {
+        /// Description of what was wrong.
+        reason: &'static str,
+    },
+    /// An underlying numerics failure that is not a plain singularity.
+    Numerics(NumericsError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidValue { element, reason } => {
+                write!(f, "invalid value for element {element}: {reason}")
+            }
+            CircuitError::UnknownNode { element } => {
+                write!(f, "element {element} references an unknown node")
+            }
+            CircuitError::BadSenseElement { element } => write!(
+                f,
+                "controlled source {element} must sense a voltage-source branch"
+            ),
+            CircuitError::SingularSystem { analysis } => write!(
+                f,
+                "singular MNA system in {analysis} analysis (floating node or voltage-source loop?)"
+            ),
+            CircuitError::InvalidSpec { reason } => write!(f, "invalid analysis spec: {reason}"),
+            CircuitError::Numerics(e) => write!(f, "numerics error: {e}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for CircuitError {
+    fn from(e: NumericsError) -> Self {
+        match e {
+            NumericsError::Singular { .. } => CircuitError::SingularSystem { analysis: "solve" },
+            other => CircuitError::Numerics(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = CircuitError::InvalidValue {
+            element: "R1".into(),
+            reason: "resistance must be positive",
+        };
+        assert!(e.to_string().contains("R1"));
+        assert!(CircuitError::SingularSystem { analysis: "dc" }
+            .to_string()
+            .contains("dc"));
+        let n: CircuitError = NumericsError::RaggedRows.into();
+        assert!(n.to_string().contains("numerics"));
+        let s: CircuitError = NumericsError::Singular { step: 0 }.into();
+        assert!(matches!(s, CircuitError::SingularSystem { .. }));
+    }
+}

@@ -1,0 +1,201 @@
+//! Waveform-comparison metrics.
+//!
+//! The paper reports accuracy as "the average voltage differences and
+//! associated standard deviations … calculated for all time steps in SPICE
+//! simulation" (Table II), waveform differences relative to the noise peak
+//! (Table III, Fig. 3) and percentage delay differences (§VI). This module
+//! implements those metrics over [`sample pairs`](WaveformDiff::compare).
+
+/// Summary statistics of the pointwise difference between two waveforms
+/// sampled on the same time grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveformDiff {
+    /// Mean of `|a − b|` over all samples (the paper's "average voltage
+    /// difference").
+    pub avg_abs: f64,
+    /// Standard deviation of `|a − b|`.
+    pub std_dev: f64,
+    /// Maximum of `|a − b|`.
+    pub max_abs: f64,
+    /// Peak `|a|` of the reference waveform (for "% of the noise peak").
+    pub ref_peak: f64,
+}
+
+impl WaveformDiff {
+    /// Compares two equally sampled waveforms; `reference` is the ground
+    /// truth (e.g. the PEEC response).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or are zero.
+    pub fn compare(reference: &[f64], candidate: &[f64]) -> Self {
+        assert_eq!(
+            reference.len(),
+            candidate.len(),
+            "waveforms must share a time grid"
+        );
+        assert!(!reference.is_empty(), "waveforms must be non-empty");
+        let n = reference.len() as f64;
+        let diffs: Vec<f64> = reference
+            .iter()
+            .zip(candidate.iter())
+            .map(|(a, b)| (a - b).abs())
+            .collect();
+        let avg = diffs.iter().sum::<f64>() / n;
+        let var = diffs.iter().map(|d| (d - avg) * (d - avg)).sum::<f64>() / n;
+        let max = diffs.iter().cloned().fold(0.0, f64::max);
+        let peak = reference.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        WaveformDiff {
+            avg_abs: avg,
+            std_dev: var.sqrt(),
+            max_abs: max,
+            ref_peak: peak,
+        }
+    }
+
+    /// Average difference as a percentage of the reference peak
+    /// (`NaN`-free: returns 0 for an all-zero reference).
+    pub fn avg_pct_of_peak(&self) -> f64 {
+        if self.ref_peak == 0.0 {
+            0.0
+        } else {
+            100.0 * self.avg_abs / self.ref_peak
+        }
+    }
+
+    /// Maximum difference as a percentage of the reference peak.
+    pub fn max_pct_of_peak(&self) -> f64 {
+        if self.ref_peak == 0.0 {
+            0.0
+        } else {
+            100.0 * self.max_abs / self.ref_peak
+        }
+    }
+}
+
+/// Linearly resamples `(t, v)` onto a new time grid (clamped at the ends).
+///
+/// # Panics
+///
+/// Panics if `t` and `v` differ in length, are empty, or `t` is unsorted.
+pub fn resample(t: &[f64], v: &[f64], grid: &[f64]) -> Vec<f64> {
+    assert_eq!(t.len(), v.len(), "time and value lengths differ");
+    assert!(!t.is_empty(), "cannot resample an empty waveform");
+    assert!(
+        t.windows(2).all(|w| w[1] >= w[0]),
+        "time axis must be sorted"
+    );
+    grid.iter()
+        .map(|&g| {
+            if g <= t[0] {
+                return v[0];
+            }
+            if g >= t[t.len() - 1] {
+                return v[v.len() - 1];
+            }
+            // Binary search for the bracketing interval.
+            let idx = t.partition_point(|&tt| tt <= g);
+            let (t0, t1) = (t[idx - 1], t[idx]);
+            let (v0, v1) = (v[idx - 1], v[idx]);
+            if t1 == t0 {
+                v0
+            } else {
+                v0 + (v1 - v0) * (g - t0) / (t1 - t0)
+            }
+        })
+        .collect()
+}
+
+/// Time at which a rising waveform first crosses `threshold · final_value`
+/// (linear interpolation between samples); `None` if it never does.
+/// With `threshold = 0.5` this is the 50 % delay metric of §VI.
+pub fn crossing_time(t: &[f64], v: &[f64], threshold: f64) -> Option<f64> {
+    assert_eq!(t.len(), v.len(), "time and value lengths differ");
+    let target = threshold * v.last().copied().unwrap_or(0.0);
+    for w in 1..v.len() {
+        let (v0, v1) = (v[w - 1], v[w]);
+        if (v0 < target && v1 >= target) || (v0 > target && v1 <= target) {
+            if v1 == v0 {
+                return Some(t[w]);
+            }
+            return Some(t[w - 1] + (t[w] - t[w - 1]) * (target - v0) / (v1 - v0));
+        }
+    }
+    None
+}
+
+/// Peak absolute value of a waveform — the "noise peak" of the crosstalk
+/// experiments.
+pub fn peak_abs(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_waveforms_have_zero_diff() {
+        let a = vec![0.0, 1.0, 2.0, 1.0];
+        let d = WaveformDiff::compare(&a, &a);
+        assert_eq!(d.avg_abs, 0.0);
+        assert_eq!(d.std_dev, 0.0);
+        assert_eq!(d.max_abs, 0.0);
+        assert_eq!(d.ref_peak, 2.0);
+        assert_eq!(d.avg_pct_of_peak(), 0.0);
+    }
+
+    #[test]
+    fn constant_offset_measured() {
+        let a = vec![1.0, 1.0, 1.0, 1.0];
+        let b = vec![1.1, 1.1, 1.1, 1.1];
+        let d = WaveformDiff::compare(&a, &b);
+        assert!((d.avg_abs - 0.1).abs() < 1e-12);
+        assert!(d.std_dev < 1e-12);
+        assert!((d.avg_pct_of_peak() - 10.0).abs() < 1e-9);
+        assert!((d.max_pct_of_peak() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_reference_is_nan_free() {
+        let d = WaveformDiff::compare(&[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(d.avg_pct_of_peak(), 0.0);
+        assert_eq!(d.max_pct_of_peak(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a time grid")]
+    fn mismatched_lengths_panic() {
+        WaveformDiff::compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_interpolates() {
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.0, 10.0, 20.0];
+        let out = resample(&t, &v, &[-1.0, 0.5, 1.5, 3.0]);
+        assert_eq!(out, vec![0.0, 5.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn crossing_time_interpolates() {
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.0, 0.4, 1.0];
+        // Final value 1.0, 50% target 0.5: crossed between t=1 and t=2.
+        let tc = crossing_time(&t, &v, 0.5).unwrap();
+        assert!((tc - (1.0 + 0.1 / 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_absent_returns_none() {
+        // Monotonic to 1.0, ask for a 2.0 crossing relative to final=1.0:
+        // threshold 2.0 → target 2.0, never reached.
+        assert_eq!(crossing_time(&[0.0, 1.0], &[0.0, 1.0], 2.0), None);
+    }
+
+    #[test]
+    fn peak_abs_handles_negatives() {
+        assert_eq!(peak_abs(&[0.1, -0.7, 0.3]), 0.7);
+        assert_eq!(peak_abs(&[]), 0.0);
+    }
+}

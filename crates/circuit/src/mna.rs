@@ -1,0 +1,309 @@
+//! Modified nodal analysis: unknown layout and generic matrix assembly.
+//!
+//! The same stamping code serves all three analyses through two closures:
+//! `cap_adm` maps a capacitance to the admittance stamped at its nodes
+//! (0 for DC, `coef·C` for transient companions, `jωC` for AC) and
+//! `ind_imp` maps an inductance to the impedance subtracted in its branch
+//! row (0 for DC — a short, `coef·L` for transient, `jωL` for AC).
+
+use crate::elements::Element;
+use crate::netlist::{Circuit, NodeId};
+use std::collections::HashMap;
+use vpec_numerics::{CooMatrix, Scalar};
+
+/// Mapping from circuit nodes/branches to MNA unknown indices.
+#[derive(Debug, Clone)]
+pub(crate) struct MnaLayout {
+    /// Number of non-ground nodes.
+    pub n_nodes: usize,
+    /// element index → branch-current unknown index.
+    pub branch_of: HashMap<usize, usize>,
+    /// Total unknown count.
+    pub dim: usize,
+}
+
+impl MnaLayout {
+    /// Builds the layout for a circuit: non-ground nodes first, then one
+    /// branch unknown per branch element in element order.
+    pub fn new(ckt: &Circuit) -> Self {
+        let n_nodes = ckt.node_count() - 1;
+        let mut branch_of = HashMap::new();
+        let mut next = n_nodes;
+        for (idx, e) in ckt.elements().iter().enumerate() {
+            if e.is_branch() {
+                branch_of.insert(idx, next);
+                next += 1;
+            }
+        }
+        MnaLayout {
+            n_nodes,
+            branch_of,
+            dim: next,
+        }
+    }
+
+    /// Unknown index of a node, or `None` for ground.
+    #[inline]
+    pub fn node_idx(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.0 - 1)
+        }
+    }
+
+    /// Branch-current unknown of element `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is not a branch element.
+    #[inline]
+    pub fn branch_idx(&self, idx: usize) -> usize {
+        self.branch_of[&idx]
+    }
+}
+
+/// Adds `v` at `(r, c)` skipping ground (`None`) indices.
+#[inline]
+fn stamp<T: Scalar>(coo: &mut CooMatrix<T>, r: Option<usize>, c: Option<usize>, v: T) {
+    if let (Some(r), Some(c)) = (r, c) {
+        coo.push(r, c, v).expect("MNA stamp within bounds");
+    }
+}
+
+/// Assembles the MNA matrix.
+///
+/// Every element's static stamps (conductances, branch incidence, gains)
+/// plus dynamic stamps defined by `cap_adm` / `ind_imp`.
+pub(crate) fn assemble<T: Scalar>(
+    ckt: &Circuit,
+    layout: &MnaLayout,
+    cap_adm: impl Fn(f64) -> T,
+    ind_imp: impl Fn(f64) -> T,
+) -> CooMatrix<T> {
+    let mut a = CooMatrix::new(layout.dim, layout.dim);
+    let one = T::one();
+    for (idx, e) in ckt.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a: na, b: nb, r, .. } => {
+                let g = T::from_f64(1.0 / r);
+                let (ia, ib) = (layout.node_idx(*na), layout.node_idx(*nb));
+                stamp(&mut a, ia, ia, g);
+                stamp(&mut a, ib, ib, g);
+                stamp(&mut a, ia, ib, -g);
+                stamp(&mut a, ib, ia, -g);
+            }
+            Element::Capacitor { a: na, b: nb, c, .. } => {
+                let y = cap_adm(*c);
+                if !y.is_zero() {
+                    let (ia, ib) = (layout.node_idx(*na), layout.node_idx(*nb));
+                    stamp(&mut a, ia, ia, y);
+                    stamp(&mut a, ib, ib, y);
+                    stamp(&mut a, ia, ib, -y);
+                    stamp(&mut a, ib, ia, -y);
+                }
+            }
+            Element::Inductor { a: na, b: nb, l, .. } => {
+                let br = Some(layout.branch_idx(idx));
+                let (ia, ib) = (layout.node_idx(*na), layout.node_idx(*nb));
+                // KCL columns: current flows a → b.
+                stamp(&mut a, ia, br, one);
+                stamp(&mut a, ib, br, -one);
+                // Branch row: v_a − v_b − Z·i = rhs.
+                stamp(&mut a, br, ia, one);
+                stamp(&mut a, br, ib, -one);
+                let z = ind_imp(*l);
+                if !z.is_zero() {
+                    stamp(&mut a, br, br, -z);
+                }
+            }
+            Element::Mutual { la, lb, m, .. } => {
+                let z = ind_imp(*m);
+                if !z.is_zero() {
+                    let ba = Some(layout.branch_idx(la.0));
+                    let bb = Some(layout.branch_idx(lb.0));
+                    stamp(&mut a, ba, bb, -z);
+                    stamp(&mut a, bb, ba, -z);
+                }
+            }
+            Element::VSource { p, n, .. } => {
+                let br = Some(layout.branch_idx(idx));
+                let (ip, in_) = (layout.node_idx(*p), layout.node_idx(*n));
+                stamp(&mut a, ip, br, one);
+                stamp(&mut a, in_, br, -one);
+                stamp(&mut a, br, ip, one);
+                stamp(&mut a, br, in_, -one);
+            }
+            Element::ISource { .. } => {
+                // RHS only.
+            }
+            Element::Vcvs {
+                p, n, cp, cn, gain, ..
+            } => {
+                let br = Some(layout.branch_idx(idx));
+                let (ip, in_) = (layout.node_idx(*p), layout.node_idx(*n));
+                let (icp, icn) = (layout.node_idx(*cp), layout.node_idx(*cn));
+                let g = T::from_f64(*gain);
+                stamp(&mut a, ip, br, one);
+                stamp(&mut a, in_, br, -one);
+                stamp(&mut a, br, ip, one);
+                stamp(&mut a, br, in_, -one);
+                stamp(&mut a, br, icp, -g);
+                stamp(&mut a, br, icn, g);
+            }
+            Element::Vccs {
+                p, n, cp, cn, gm, ..
+            } => {
+                let (ip, in_) = (layout.node_idx(*p), layout.node_idx(*n));
+                let (icp, icn) = (layout.node_idx(*cp), layout.node_idx(*cn));
+                let g = T::from_f64(*gm);
+                stamp(&mut a, ip, icp, g);
+                stamp(&mut a, ip, icn, -g);
+                stamp(&mut a, in_, icp, -g);
+                stamp(&mut a, in_, icn, g);
+            }
+            Element::Cccs {
+                p, n, sense, gain, ..
+            } => {
+                let bs = Some(layout.branch_idx(sense.0));
+                let (ip, in_) = (layout.node_idx(*p), layout.node_idx(*n));
+                let g = T::from_f64(*gain);
+                stamp(&mut a, ip, bs, g);
+                stamp(&mut a, in_, bs, -g);
+            }
+            Element::Ccvs { p, n, sense, r, .. } => {
+                let br = Some(layout.branch_idx(idx));
+                let bs = Some(layout.branch_idx(sense.0));
+                let (ip, in_) = (layout.node_idx(*p), layout.node_idx(*n));
+                stamp(&mut a, ip, br, one);
+                stamp(&mut a, in_, br, -one);
+                stamp(&mut a, br, ip, one);
+                stamp(&mut a, br, in_, -one);
+                stamp(&mut a, br, bs, -T::from_f64(*r));
+            }
+        }
+    }
+    a
+}
+
+/// Adds an independent-source contribution to the RHS: voltage `val` for a
+/// V source branch, current `val` (flowing p → n through the source, i.e.
+/// injected into `n`) for an I source.
+pub(crate) fn add_source_rhs<T: Scalar>(
+    rhs: &mut [T],
+    layout: &MnaLayout,
+    idx: usize,
+    e: &Element,
+    val: T,
+) {
+    match e {
+        Element::VSource { .. } => {
+            rhs[layout.branch_idx(idx)] += val;
+        }
+        Element::ISource { p, n, .. } => {
+            if let Some(ip) = layout.node_idx(*p) {
+                rhs[ip] -= val;
+            }
+            if let Some(in_) = layout.node_idx(*n) {
+                rhs[in_] += val;
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+    use vpec_numerics::LuFactor;
+
+    #[test]
+    fn layout_orders_nodes_then_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, b, 1.0).unwrap();
+        c.add_vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        c.add_inductor("L1", b, Circuit::GROUND, 1e-9).unwrap();
+        let layout = MnaLayout::new(&c);
+        assert_eq!(layout.n_nodes, 2);
+        assert_eq!(layout.dim, 4);
+        assert_eq!(layout.node_idx(Circuit::GROUND), None);
+        assert_eq!(layout.node_idx(a), Some(0));
+        assert_eq!(layout.branch_idx(1), 2); // V1
+        assert_eq!(layout.branch_idx(2), 3); // L1
+    }
+
+    #[test]
+    fn dc_voltage_divider_solves() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::dc(10.0))
+            .unwrap();
+        c.add_resistor("R1", inp, mid, 1000.0).unwrap();
+        c.add_resistor("R2", mid, Circuit::GROUND, 1000.0).unwrap();
+        let layout = MnaLayout::new(&c);
+        let a = assemble::<f64>(&c, &layout, |_| 0.0, |_| 0.0);
+        let mut rhs = vec![0.0; layout.dim];
+        for (idx, e) in c.elements().iter().enumerate() {
+            if let Element::VSource { wave, .. } = e {
+                add_source_rhs(&mut rhs, &layout, idx, e, wave.dc_value());
+            }
+        }
+        let x = LuFactor::new(&a.to_csr().to_dense())
+            .unwrap()
+            .solve(&rhs)
+            .unwrap();
+        // mid node should be at 5 V.
+        assert!((x[layout.node_idx(mid).unwrap()] - 5.0).abs() < 1e-12);
+        // Source branch current: 10 V over 2 kΩ = 5 mA flowing out of +.
+        assert!((x[2].abs() - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isource_injects_into_n() {
+        let mut c = Circuit::new();
+        let out = c.node("out");
+        c.add_isource("I1", Circuit::GROUND, out, Waveform::dc(1e-3))
+            .unwrap();
+        c.add_resistor("R1", out, Circuit::GROUND, 1000.0).unwrap();
+        let layout = MnaLayout::new(&c);
+        let a = assemble::<f64>(&c, &layout, |_| 0.0, |_| 0.0);
+        let mut rhs = vec![0.0; layout.dim];
+        for (idx, e) in c.elements().iter().enumerate() {
+            if let Element::ISource { wave, .. } = e {
+                add_source_rhs(&mut rhs, &layout, idx, e, wave.dc_value());
+            }
+        }
+        let x = LuFactor::new(&a.to_csr().to_dense())
+            .unwrap()
+            .solve(&rhs)
+            .unwrap();
+        // 1 mA into 1 kΩ: +1 V.
+        assert!((x[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vcvs_doubles_voltage() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::dc(1.5))
+            .unwrap();
+        c.add_vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, 2.0)
+            .unwrap();
+        c.add_resistor("RL", out, Circuit::GROUND, 50.0).unwrap();
+        let layout = MnaLayout::new(&c);
+        let a = assemble::<f64>(&c, &layout, |_| 0.0, |_| 0.0);
+        let mut rhs = vec![0.0; layout.dim];
+        rhs[layout.branch_idx(0)] = 1.5;
+        let x = LuFactor::new(&a.to_csr().to_dense())
+            .unwrap()
+            .solve(&rhs)
+            .unwrap();
+        assert!((x[layout.node_idx(out).unwrap()] - 3.0).abs() < 1e-12);
+    }
+}

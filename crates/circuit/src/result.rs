@@ -1,0 +1,215 @@
+//! Analysis results: transient waveforms and AC sweeps.
+
+use crate::elements::ElementId;
+use crate::netlist::NodeId;
+use std::collections::HashMap;
+use vpec_numerics::Complex64;
+
+/// How the stored columns of a [`TransientResult`] map back to circuit
+/// quantities.
+#[derive(Debug, Clone)]
+pub(crate) enum ResultMapping {
+    /// Every MNA unknown was stored: nodes first, then branch currents.
+    Full {
+        /// Non-ground node count.
+        n_nodes: usize,
+        /// element index → branch unknown column.
+        branch_of: HashMap<usize, usize>,
+    },
+    /// Only selected node voltages were stored (big-circuit mode).
+    Probes(HashMap<usize, usize>),
+}
+
+/// Result of a transient analysis.
+///
+/// By default every MNA unknown is recorded at every time point; for large
+/// circuits, [`crate::TransientSpec::probes`] restricts recording to
+/// selected nodes.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    pub(crate) times: Vec<f64>,
+    /// `data[step][column]`.
+    pub(crate) data: Vec<Vec<f64>>,
+    pub(crate) mapping: ResultMapping,
+}
+
+impl TransientResult {
+    /// The simulated time points (seconds), including `t = 0`.
+    pub fn time(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the result holds no time points.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage waveform of a node (ground returns all zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not recorded (out of range, or not in the
+    /// probe list when probing was restricted).
+    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+        if node.is_ground() {
+            return vec![0.0; self.times.len()];
+        }
+        let col = match &self.mapping {
+            ResultMapping::Full { n_nodes, .. } => {
+                assert!(node.0 - 1 < *n_nodes, "node out of range for this result");
+                node.0 - 1
+            }
+            ResultMapping::Probes(map) => *map
+                .get(&node.0)
+                .unwrap_or_else(|| panic!("node {} was not probed", node.0)),
+        };
+        self.data.iter().map(|row| row[col]).collect()
+    }
+
+    /// Branch-current waveform of a branch element (V source, inductor,
+    /// VCVS, CCVS). Returns `None` for non-branch elements or when only
+    /// probed nodes were recorded.
+    pub fn branch_current(&self, element: ElementId) -> Option<Vec<f64>> {
+        match &self.mapping {
+            ResultMapping::Full { branch_of, .. } => {
+                let &col = branch_of.get(&element.0)?;
+                Some(self.data.iter().map(|row| row[col]).collect())
+            }
+            ResultMapping::Probes(_) => None,
+        }
+    }
+
+    /// Voltage at a single `(step, node)` point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or the node was not recorded.
+    pub fn voltage_at(&self, step: usize, node: NodeId) -> f64 {
+        if node.is_ground() {
+            return 0.0;
+        }
+        let col = match &self.mapping {
+            ResultMapping::Full { .. } => node.0 - 1,
+            ResultMapping::Probes(map) => *map
+                .get(&node.0)
+                .unwrap_or_else(|| panic!("node {} was not probed", node.0)),
+        };
+        self.data[step][col]
+    }
+}
+
+/// Result of an AC (frequency-domain) analysis.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    pub(crate) freqs: Vec<f64>,
+    /// `data[freq_idx][unknown]`.
+    pub(crate) data: Vec<Vec<Complex64>>,
+    pub(crate) n_nodes: usize,
+}
+
+impl AcResult {
+    /// The swept frequencies (hertz).
+    pub fn frequency(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex node voltage across the sweep (ground returns zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the simulated circuit.
+    pub fn voltage(&self, node: NodeId) -> Vec<Complex64> {
+        if node.is_ground() {
+            return vec![Complex64::ZERO; self.freqs.len()];
+        }
+        let idx = node.0 - 1;
+        assert!(idx < self.n_nodes, "node out of range for this result");
+        self.data.iter().map(|row| row[idx]).collect()
+    }
+
+    /// Voltage magnitude across the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        self.voltage(node).iter().map(|z| z.abs()).collect()
+    }
+
+    /// Voltage magnitude in decibels (`20·log₁₀|V|`).
+    pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
+        self.voltage(node)
+            .iter()
+            .map(|z| 20.0 * z.abs().max(1e-300).log10())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TransientResult {
+        TransientResult {
+            times: vec![0.0, 1.0, 2.0],
+            data: vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 30.0]],
+            mapping: ResultMapping::Full {
+                n_nodes: 1,
+                branch_of: HashMap::from([(5usize, 1usize)]),
+            },
+        }
+    }
+
+    #[test]
+    fn full_accessors() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.voltage(NodeId(1)), vec![0.0, 1.0, 2.0]);
+        assert_eq!(r.voltage(NodeId(0)), vec![0.0; 3]);
+        assert_eq!(r.branch_current(ElementId(5)), Some(vec![10.0, 20.0, 30.0]));
+        assert_eq!(r.branch_current(ElementId(0)), None);
+        assert_eq!(r.voltage_at(2, NodeId(1)), 2.0);
+        assert_eq!(r.voltage_at(2, NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn probe_mapping() {
+        let r = TransientResult {
+            times: vec![0.0, 1.0],
+            data: vec![vec![7.0], vec![8.0]],
+            mapping: ResultMapping::Probes(HashMap::from([(3usize, 0usize)])),
+        };
+        assert_eq!(r.voltage(NodeId(3)), vec![7.0, 8.0]);
+        assert_eq!(r.branch_current(ElementId(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not probed")]
+    fn unprobed_node_panics() {
+        let r = TransientResult {
+            times: vec![0.0],
+            data: vec![vec![7.0]],
+            mapping: ResultMapping::Probes(HashMap::from([(3usize, 0usize)])),
+        };
+        r.voltage(NodeId(2));
+    }
+
+    #[test]
+    fn ac_magnitudes() {
+        let r = AcResult {
+            freqs: vec![1.0, 10.0],
+            data: vec![
+                vec![Complex64::new(3.0, 4.0)],
+                vec![Complex64::new(0.0, 1.0)],
+            ],
+            n_nodes: 1,
+        };
+        assert_eq!(r.frequency(), &[1.0, 10.0]);
+        assert_eq!(r.magnitude(NodeId(1)), vec![5.0, 1.0]);
+        let db = r.magnitude_db(NodeId(1));
+        assert!((db[0] - 20.0 * 5.0f64.log10()).abs() < 1e-12);
+        assert_eq!(r.voltage(NodeId(0))[0], Complex64::ZERO);
+    }
+}

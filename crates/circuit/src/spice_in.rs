@@ -1,0 +1,466 @@
+//! SPICE netlist parser — the inverse of [`crate::spice_out`].
+//!
+//! Reads the deck dialect this workspace emits (R/C/L/K, V/I with
+//! DC/PWL/PULSE and optional AC, and the four controlled sources E/G/F/H)
+//! back into a [`Circuit`]. Together with the exporter this enables
+//! roundtrip validation — any deck we write can be re-read and must
+//! simulate identically — and lets externally authored decks in the same
+//! dialect drive the engine.
+//!
+//! Values accept both scientific notation and the classic SPICE magnitude
+//! suffixes (`f p n u m k meg g t`).
+
+use crate::elements::ElementId;
+use crate::error::CircuitError;
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+use std::collections::HashMap;
+
+/// Parses a SPICE value with optional magnitude suffix.
+///
+/// ```
+/// use vpec_circuit::spice_in::parse_value;
+/// assert_eq!(parse_value("1.5k").unwrap(), 1500.0);
+/// assert_eq!(parse_value("10meg").unwrap(), 1.0e7);
+/// assert_eq!(parse_value("2.5e-12").unwrap(), 2.5e-12);
+/// ```
+///
+/// # Errors
+///
+/// Returns a message naming the malformed token.
+pub fn parse_value(tok: &str) -> Result<f64, String> {
+    let t = tok.trim().to_ascii_lowercase();
+    let (num, mult) = if let Some(stripped) = t.strip_suffix("meg") {
+        (stripped, 1.0e6)
+    } else if let Some(stripped) = t.strip_suffix('f') {
+        (stripped, 1.0e-15)
+    } else if let Some(stripped) = t.strip_suffix('p') {
+        (stripped, 1.0e-12)
+    } else if let Some(stripped) = t.strip_suffix('n') {
+        (stripped, 1.0e-9)
+    } else if let Some(stripped) = t.strip_suffix('u') {
+        (stripped, 1.0e-6)
+    } else if let Some(stripped) = t.strip_suffix('m') {
+        (stripped, 1.0e-3)
+    } else if let Some(stripped) = t.strip_suffix('k') {
+        (stripped, 1.0e3)
+    } else if let Some(stripped) = t.strip_suffix('g') {
+        // Careful: `e-9` also ends in '9', but 'g' only strips a letter.
+        (stripped, 1.0e9)
+    } else if let Some(stripped) = t.strip_suffix('t') {
+        (stripped, 1.0e12)
+    } else {
+        (t.as_str(), 1.0)
+    };
+    num.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("malformed value: {tok}"))
+}
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number in the deck.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn circuit_err(line: usize, e: CircuitError) -> ParseError {
+    err(line, e.to_string())
+}
+
+/// Splits `PWL(a b c …)` / `PULSE(…)` argument lists; the card body may
+/// contain spaces inside the parentheses.
+fn fn_args<'a>(body: &'a str, name: &str) -> Option<Vec<&'a str>> {
+    let upper = body.to_ascii_uppercase();
+    let start = upper.find(&format!("{name}("))?;
+    let rest = &body[start + name.len() + 1..];
+    let end = rest.find(')')?;
+    Some(rest[..end].split_whitespace().collect())
+}
+
+/// Parses the source specification after the node tokens: DC/PWL/PULSE
+/// plus an optional trailing `AC mag phase`.
+fn parse_source(line_no: usize, spec: &str) -> Result<(Waveform, Option<(f64, f64)>), ParseError> {
+    let upper = spec.to_ascii_uppercase();
+    // Optional AC tail.
+    let (body, ac) = if let Some(pos) = upper.find(" AC ") {
+        let tail: Vec<&str> = spec[pos + 4..].split_whitespace().collect();
+        if tail.len() < 2 {
+            return Err(err(line_no, "AC needs magnitude and phase"));
+        }
+        let mag = parse_value(tail[0]).map_err(|m| err(line_no, m))?;
+        let ph = parse_value(tail[1]).map_err(|m| err(line_no, m))?;
+        (&spec[..pos], Some((mag, ph)))
+    } else {
+        (spec, None)
+    };
+    let upper = body.to_ascii_uppercase();
+    let wave = if upper.trim_start().starts_with("DC") {
+        let toks: Vec<&str> = body.split_whitespace().collect();
+        if toks.len() < 2 {
+            return Err(err(line_no, "DC needs a value"));
+        }
+        Waveform::Dc(parse_value(toks[1]).map_err(|m| err(line_no, m))?)
+    } else if upper.contains("PWL(") {
+        let args = fn_args(body, "PWL").ok_or_else(|| err(line_no, "malformed PWL"))?;
+        if args.len() % 2 != 0 || args.is_empty() {
+            return Err(err(line_no, "PWL needs time/value pairs"));
+        }
+        let mut pts = Vec::with_capacity(args.len() / 2);
+        for pair in args.chunks(2) {
+            let t = parse_value(pair[0]).map_err(|m| err(line_no, m))?;
+            let v = parse_value(pair[1]).map_err(|m| err(line_no, m))?;
+            pts.push((t, v));
+        }
+        if !pts.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(err(line_no, "PWL times must strictly increase"));
+        }
+        Waveform::Pwl(pts)
+    } else if upper.contains("PULSE(") {
+        let args = fn_args(body, "PULSE").ok_or_else(|| err(line_no, "malformed PULSE"))?;
+        if args.len() < 7 {
+            return Err(err(line_no, "PULSE needs 7 arguments"));
+        }
+        let v: Result<Vec<f64>, _> = args.iter().take(7).map(|a| parse_value(a)).collect();
+        let v = v.map_err(|m| err(line_no, m))?;
+        Waveform::Pulse {
+            v0: v[0],
+            v1: v[1],
+            delay: v[2],
+            rise: v[3],
+            fall: v[4],
+            width: v[5],
+            period: v[6],
+        }
+    } else {
+        // Bare value: treat as DC.
+        let toks: Vec<&str> = body.split_whitespace().collect();
+        if toks.is_empty() {
+            return Err(err(line_no, "source needs a specification"));
+        }
+        Waveform::Dc(parse_value(toks[0]).map_err(|m| err(line_no, m))?)
+    };
+    Ok((wave, ac))
+}
+
+/// Parses a SPICE deck into a [`Circuit`].
+///
+/// Supported cards: `R`, `C`, `L`, `K` (coupling coefficient), `V`, `I`
+/// (DC / PWL / PULSE, optional `AC`), `E`, `G`, `F`, `H`; `*` comments,
+/// blank lines, a leading title comment and `.end` are accepted.
+///
+/// # Errors
+///
+/// [`ParseError`] with the offending line number for any malformed card,
+/// unknown reference, or element-validation failure.
+pub fn from_spice(deck: &str) -> Result<Circuit, ParseError> {
+    let mut ckt = Circuit::new();
+    // First pass collects element names → ids for K/F/H references.
+    let mut inductors: HashMap<String, (ElementId, f64)> = HashMap::new();
+    let mut vsources: HashMap<String, ElementId> = HashMap::new();
+    // Deferred cards: (line_no, text).
+    let mut deferred: Vec<(usize, String)> = Vec::new();
+
+    for (idx, raw) in deck.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with(".end") {
+            break;
+        }
+        if lower.starts_with('.') {
+            continue; // other dot-cards ignored
+        }
+        let kind = line.chars().next().expect("nonempty").to_ascii_uppercase();
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let name = &toks[0][1..];
+        match kind {
+            'R' | 'C' | 'L' => {
+                if toks.len() < 4 {
+                    return Err(err(line_no, format!("{kind} card needs 2 nodes and a value")));
+                }
+                let a = ckt.node(toks[1]);
+                let b = ckt.node(toks[2]);
+                let v = parse_value(toks[3]).map_err(|m| err(line_no, m))?;
+                let id = match kind {
+                    'R' => ckt.add_resistor(name, a, b, v),
+                    'C' => ckt.add_capacitor(name, a, b, v),
+                    _ => ckt.add_inductor(name, a, b, v),
+                }
+                .map_err(|e| circuit_err(line_no, e))?;
+                if kind == 'L' {
+                    inductors.insert(format!("L{name}"), (id, v));
+                }
+            }
+            'V' | 'I' => {
+                if toks.len() < 4 {
+                    return Err(err(line_no, "source card needs 2 nodes and a spec"));
+                }
+                let p = ckt.node(toks[1]);
+                let n = ckt.node(toks[2]);
+                let spec = line
+                    .splitn(4, char::is_whitespace)
+                    .nth(3)
+                    .expect("checked length");
+                let (wave, ac) = parse_source(line_no, spec)?;
+                let id = match (kind, ac) {
+                    ('V', None) => ckt.add_vsource(name, p, n, wave),
+                    ('V', Some((m, ph))) => ckt.add_vsource_ac(name, p, n, wave, m, ph),
+                    ('I', _) => ckt.add_isource(name, p, n, wave),
+                    _ => unreachable!(),
+                }
+                .map_err(|e| circuit_err(line_no, e))?;
+                if kind == 'V' {
+                    vsources.insert(format!("V{name}"), id);
+                }
+            }
+            'E' | 'G' => {
+                if toks.len() < 6 {
+                    return Err(err(line_no, "controlled source needs 4 nodes and a gain"));
+                }
+                let p = ckt.node(toks[1]);
+                let n = ckt.node(toks[2]);
+                let cp = ckt.node(toks[3]);
+                let cn = ckt.node(toks[4]);
+                let g = parse_value(toks[5]).map_err(|m| err(line_no, m))?;
+                if kind == 'E' {
+                    ckt.add_vcvs(name, p, n, cp, cn, g)
+                } else {
+                    ckt.add_vccs(name, p, n, cp, cn, g)
+                }
+                .map_err(|e| circuit_err(line_no, e))?;
+            }
+            'K' | 'F' | 'H' => {
+                deferred.push((line_no, line.to_string()));
+            }
+            other => {
+                return Err(err(line_no, format!("unsupported card type: {other}")));
+            }
+        }
+    }
+
+    // Second pass: cards referencing other elements by name.
+    for (line_no, line) in deferred {
+        let kind = line.chars().next().expect("nonempty").to_ascii_uppercase();
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let name = &toks[0][1..];
+        match kind {
+            'K' => {
+                if toks.len() < 4 {
+                    return Err(err(line_no, "K card needs two inductors and a coefficient"));
+                }
+                let &(l1, v1) = inductors
+                    .get(toks[1])
+                    .ok_or_else(|| err(line_no, format!("unknown inductor {}", toks[1])))?;
+                let &(l2, v2) = inductors
+                    .get(toks[2])
+                    .ok_or_else(|| err(line_no, format!("unknown inductor {}", toks[2])))?;
+                let k = parse_value(toks[3]).map_err(|m| err(line_no, m))?;
+                let m = k * (v1 * v2).sqrt();
+                ckt.add_mutual(name, l1, l2, m)
+                    .map_err(|e| circuit_err(line_no, e))?;
+            }
+            'F' | 'H' => {
+                if toks.len() < 5 {
+                    return Err(err(line_no, "F/H card needs 2 nodes, a V source and a gain"));
+                }
+                let p = ckt.node(toks[1]);
+                let n = ckt.node(toks[2]);
+                let &sense = vsources
+                    .get(toks[3])
+                    .ok_or_else(|| err(line_no, format!("unknown V source {}", toks[3])))?;
+                let g = parse_value(toks[4]).map_err(|m| err(line_no, m))?;
+                if kind == 'F' {
+                    ckt.add_cccs(name, p, n, sense, g)
+                } else {
+                    ckt.add_ccvs(name, p, n, sense, g)
+                }
+                .map_err(|e| circuit_err(line_no, e))?;
+            }
+            _ => unreachable!(),
+        }
+    }
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spice_out::to_spice;
+    use crate::transient::{run_transient, TransientSpec};
+
+    #[test]
+    fn value_suffixes() {
+        let close = |tok: &str, expect: f64| {
+            let v = parse_value(tok).unwrap();
+            assert!(
+                (v - expect).abs() <= 1e-12 * expect.abs(),
+                "{tok}: {v} vs {expect}"
+            );
+        };
+        close("100", 100.0);
+        close("1k", 1e3);
+        close("10meg", 1e7);
+        close("2u", 2e-6);
+        close("3n", 3e-9);
+        close("4p", 4e-12);
+        close("5f", 5e-15);
+        close("6m", 6e-3);
+        close("7g", 7e9);
+        close("1.5e-12", 1.5e-12);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_simple_rc_deck() {
+        let deck = "\
+* test deck
+Vsrc in 0 DC 1.0
+Rload in out 1k
+Cload out 0 1p
+.end
+";
+        let ckt = from_spice(deck).unwrap();
+        assert_eq!(ckt.element_count(), 3);
+        assert_eq!(ckt.node_count(), 3);
+    }
+
+    #[test]
+    fn parses_pwl_and_pulse_sources() {
+        let deck = "\
+V1 a 0 PWL(0 0 1e-9 1.0)
+V2 b 0 PULSE(0 1 0 1e-12 1e-12 1e-9 2e-9)
+I1 0 c DC 1e-3 AC 1 0
+Rc c 0 1k
+Ra a 0 1k
+Rb b 0 1k
+.end
+";
+        let ckt = from_spice(deck).unwrap();
+        assert_eq!(ckt.element_count(), 6);
+    }
+
+    #[test]
+    fn mutual_coupling_roundtrips_through_k() {
+        let deck = "\
+L1 a 0 1e-9
+L2 b 0 4e-9
+K12 L1 L2 0.5
+Ra a 0 1.0
+Rb b 0 1.0
+";
+        let ckt = from_spice(deck).unwrap();
+        let m = ckt
+            .elements()
+            .iter()
+            .find_map(|e| match e {
+                crate::Element::Mutual { m, .. } => Some(*m),
+                _ => None,
+            })
+            .expect("K parsed");
+        // M = k·√(L1·L2) = 0.5·2e-9.
+        assert!((m - 1.0e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn full_roundtrip_preserves_behaviour() {
+        // Build a circuit with every element type, export, re-import, and
+        // verify the two simulate identically.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        let src = ckt
+            .add_vsource("drv", a, Circuit::GROUND, Waveform::step(1.0, 10e-12))
+            .unwrap();
+        ckt.add_resistor("1", a, b, 120.0).unwrap();
+        let l1 = ckt.add_inductor("1", b, c, 1e-9).unwrap();
+        let l2 = ckt.add_inductor("2", c, Circuit::GROUND, 2e-9).unwrap();
+        ckt.add_mutual("12", l1, l2, 0.4e-9).unwrap();
+        ckt.add_capacitor("L", c, Circuit::GROUND, 50e-15).unwrap();
+        let e_out = ckt.node("e_out");
+        let f_out = ckt.node("f_out");
+        let g_out = ckt.node("g_out");
+        let h_out = ckt.node("h_out");
+        ckt.add_vcvs("amp", e_out, Circuit::GROUND, c, Circuit::GROUND, 2.0)
+            .unwrap();
+        ckt.add_resistor("eload", e_out, Circuit::GROUND, 1000.0)
+            .unwrap();
+        ckt.add_cccs("mir", Circuit::GROUND, f_out, src, 0.5).unwrap();
+        ckt.add_resistor("fload", f_out, Circuit::GROUND, 50.0)
+            .unwrap();
+        ckt.add_vccs("gm", Circuit::GROUND, g_out, c, Circuit::GROUND, 1e-3)
+            .unwrap();
+        ckt.add_resistor("gload", g_out, Circuit::GROUND, 100.0)
+            .unwrap();
+        ckt.add_ccvs("tr", h_out, Circuit::GROUND, src, 10.0).unwrap();
+        ckt.add_resistor("hload", h_out, Circuit::GROUND, 100.0)
+            .unwrap();
+
+        let deck = to_spice(&ckt, "roundtrip");
+        let back = from_spice(&deck).unwrap();
+        assert_eq!(back.element_count(), ckt.element_count());
+
+        let spec = TransientSpec::new(1e-9, 1e-12);
+        let r1 = run_transient(&ckt, &spec).unwrap();
+        let r2 = run_transient(&back, &spec).unwrap();
+        for node_name in ["c", "e_out", "f_out", "g_out", "h_out"] {
+            let mut c1 = ckt.clone();
+            let mut c2 = back.clone();
+            let n1 = c1.node(node_name);
+            let n2 = c2.node(node_name);
+            let v1 = r1.voltage(n1);
+            let v2 = r2.voltage(n2);
+            for (x, y) in v1.iter().zip(v2.iter()) {
+                assert!(
+                    (x - y).abs() < 1e-6,
+                    "roundtrip mismatch at {node_name}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let deck = "R1 a 0 1k\nXsub a b weird\n";
+        let e = from_spice(deck).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unsupported"));
+
+        let e = from_spice("R1 a 0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = from_spice("K1 L1 L2 0.5\n").unwrap_err();
+        assert!(e.message.contains("unknown inductor"));
+
+        let e = from_spice("V1 a 0 PWL(1 0 0.5 1)\nRa a 0 1\n").unwrap_err();
+        assert!(e.message.contains("strictly increase"));
+    }
+
+    #[test]
+    fn dot_cards_and_comments_skipped() {
+        let deck = "* title\n.tran 1n 10n\nR1 a 0 1k\n.end\nR2 never 0 1k\n";
+        let ckt = from_spice(deck).unwrap();
+        assert_eq!(ckt.element_count(), 1, "cards after .end ignored");
+    }
+}

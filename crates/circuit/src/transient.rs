@@ -1,0 +1,470 @@
+//! Fixed-step transient analysis with companion models.
+//!
+//! The circuits produced by the PEEC/VPEC builders are linear, so the MNA
+//! matrix is constant across the run: it is factored **once** and each time
+//! step costs one RHS rebuild plus one back-substitution. This is exactly
+//! the regime where the paper's sparsification pays off — the factorization
+//! and each back-substitution scale with the factor's nonzero count.
+//!
+//! Integration methods: Backward Euler (robust, first order) and the
+//! trapezoidal rule (second order, SPICE's default — used for all paper
+//! reproductions).
+
+use crate::dc::solve_dc_with;
+use crate::elements::Element;
+use crate::error::CircuitError;
+use crate::mna::{add_source_rhs, assemble, MnaLayout};
+use crate::netlist::{Circuit, NodeId};
+use crate::result::{ResultMapping, TransientResult};
+use crate::solver::{Factored, SolverKind};
+use std::collections::HashMap;
+
+/// Time-integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// First-order implicit Euler; strongly damped.
+    BackwardEuler,
+    /// Second-order trapezoidal rule (SPICE default).
+    #[default]
+    Trapezoidal,
+}
+
+/// Transient analysis specification.
+#[derive(Debug, Clone)]
+pub struct TransientSpec {
+    /// End time, seconds.
+    pub t_stop: f64,
+    /// Fixed step size, seconds.
+    pub dt: f64,
+    /// Integration method.
+    pub method: Integrator,
+    /// Linear-solver backend.
+    pub solver: SolverKind,
+    /// If set, record only these node voltages (memory saver for large
+    /// circuits); otherwise every MNA unknown is recorded.
+    pub probes: Option<Vec<NodeId>>,
+}
+
+impl TransientSpec {
+    /// A trapezoidal run to `t_stop` with step `dt`.
+    pub fn new(t_stop: f64, dt: f64) -> Self {
+        TransientSpec {
+            t_stop,
+            dt,
+            method: Integrator::Trapezoidal,
+            solver: SolverKind::Auto,
+            probes: None,
+        }
+    }
+
+    /// Selects the integration method.
+    #[must_use]
+    pub fn integrator(mut self, m: Integrator) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Selects the solver backend.
+    #[must_use]
+    pub fn solver(mut self, s: SolverKind) -> Self {
+        self.solver = s;
+        self
+    }
+
+    /// Restricts recording to the given nodes.
+    #[must_use]
+    pub fn probes(mut self, nodes: Vec<NodeId>) -> Self {
+        self.probes = Some(nodes);
+        self
+    }
+}
+
+struct CapState {
+    ia: Option<usize>,
+    ib: Option<usize>,
+    geq: f64,
+    v_prev: f64,
+    i_prev: f64,
+}
+
+struct IndState {
+    br: usize,
+    ia: Option<usize>,
+    ib: Option<usize>,
+    /// `(branch column, inductance)` couplings including the self term.
+    couplings: Vec<(usize, f64)>,
+    v_prev: f64,
+}
+
+/// Runs a fixed-step transient analysis from the DC operating point.
+///
+/// # Errors
+///
+/// * [`CircuitError::InvalidSpec`] for non-positive `t_stop`/`dt`.
+/// * [`CircuitError::SingularSystem`] if the DC or transient MNA system is
+///   singular.
+pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientResult, CircuitError> {
+    if !spec.t_stop.is_finite() || spec.t_stop <= 0.0 {
+        return Err(CircuitError::InvalidSpec {
+            reason: "t_stop must be positive and finite",
+        });
+    }
+    if !spec.dt.is_finite() || spec.dt <= 0.0 || spec.dt > spec.t_stop {
+        return Err(CircuitError::InvalidSpec {
+            reason: "dt must be positive, finite and no larger than t_stop",
+        });
+    }
+
+    let layout = MnaLayout::new(ckt);
+    let coef = match spec.method {
+        Integrator::BackwardEuler => 1.0 / spec.dt,
+        Integrator::Trapezoidal => 2.0 / spec.dt,
+    };
+    let trap = spec.method == Integrator::Trapezoidal;
+
+    let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+    let factored = Factored::factor(&a, spec.solver).map_err(|e| match e {
+        CircuitError::SingularSystem { .. } => CircuitError::SingularSystem {
+            analysis: "transient",
+        },
+        other => other,
+    })?;
+
+    // Initial condition: DC operating point with sources at t = 0.
+    let dc = solve_dc_with(ckt, spec.solver)?;
+    let mut x = dc.x;
+    debug_assert_eq!(x.len(), layout.dim);
+
+    // Element state trackers.
+    let mut caps: Vec<CapState> = Vec::new();
+    let mut inds: Vec<IndState> = Vec::new();
+    // First pass: self terms and node indices.
+    for (idx, e) in ckt.elements().iter().enumerate() {
+        match e {
+            Element::Capacitor { a: na, b: nb, c, .. } => {
+                let ia = layout.node_idx(*na);
+                let ib = layout.node_idx(*nb);
+                let va = ia.map_or(0.0, |i| x[i]);
+                let vb = ib.map_or(0.0, |i| x[i]);
+                caps.push(CapState {
+                    ia,
+                    ib,
+                    geq: coef * c,
+                    v_prev: va - vb,
+                    i_prev: 0.0, // steady state: no capacitor current
+                });
+            }
+            Element::Inductor { a: na, b: nb, l, .. } => {
+                let br = layout.branch_idx(idx);
+                inds.push(IndState {
+                    br,
+                    ia: layout.node_idx(*na),
+                    ib: layout.node_idx(*nb),
+                    couplings: vec![(br, *l)],
+                    v_prev: 0.0, // DC: inductor is a short
+                });
+            }
+            _ => {}
+        }
+    }
+    // Second pass: mutual couplings (element ids refer to inductors).
+    let br_to_ind: HashMap<usize, usize> = inds
+        .iter()
+        .enumerate()
+        .map(|(k, s)| (s.br, k))
+        .collect();
+    for e in ckt.elements() {
+        if let Element::Mutual { la, lb, m, .. } = e {
+            let ba = layout.branch_idx(la.0);
+            let bb = layout.branch_idx(lb.0);
+            inds[br_to_ind[&ba]].couplings.push((bb, *m));
+            inds[br_to_ind[&bb]].couplings.push((ba, *m));
+        }
+    }
+
+    // Probe bookkeeping.
+    let (mapping, record_cols): (ResultMapping, Option<Vec<usize>>) = match &spec.probes {
+        None => (
+            ResultMapping::Full {
+                n_nodes: layout.n_nodes,
+                branch_of: layout.branch_of.clone(),
+            },
+            None,
+        ),
+        Some(nodes) => {
+            let mut map = HashMap::new();
+            let mut cols = Vec::new();
+            for (k, n) in nodes.iter().enumerate() {
+                let col = layout.node_idx(*n).ok_or(CircuitError::InvalidSpec {
+                    reason: "cannot probe the ground node",
+                })?;
+                map.insert(n.0, k);
+                cols.push(col);
+            }
+            (ResultMapping::Probes(map), Some(cols))
+        }
+    };
+    let record = |x: &[f64]| -> Vec<f64> {
+        match &record_cols {
+            None => x.to_vec(),
+            Some(cols) => cols.iter().map(|&c| x[c]).collect(),
+        }
+    };
+
+    let n_steps = (spec.t_stop / spec.dt).round() as usize;
+    let mut times = Vec::with_capacity(n_steps + 1);
+    let mut data = Vec::with_capacity(n_steps + 1);
+    times.push(0.0);
+    data.push(record(&x));
+
+    let mut rhs = vec![0.0f64; layout.dim];
+    for step in 1..=n_steps {
+        let t = step as f64 * spec.dt;
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+
+        // Independent sources at the new time point.
+        for (idx, e) in ckt.elements().iter().enumerate() {
+            match e {
+                Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                    add_source_rhs(&mut rhs, &layout, idx, e, wave.value(t));
+                }
+                _ => {}
+            }
+        }
+        // Capacitor companion history: current source Geq·v_prev (+ i_prev
+        // for trapezoidal) injected from b into a.
+        for s in &caps {
+            let hist = s.geq * s.v_prev + if trap { s.i_prev } else { 0.0 };
+            if let Some(ia) = s.ia {
+                rhs[ia] += hist;
+            }
+            if let Some(ib) = s.ib {
+                rhs[ib] -= hist;
+            }
+        }
+        // Inductor branch history: −v_prev (trap) − coef·Σ L·i_prev.
+        for s in &inds {
+            let mut flux = 0.0;
+            for &(col, l) in &s.couplings {
+                flux += l * x[col];
+            }
+            rhs[s.br] = -(if trap { s.v_prev } else { 0.0 }) - coef * flux;
+        }
+
+        let x_new = factored.solve(&rhs)?;
+
+        // Update element states.
+        for s in &mut caps {
+            let va = s.ia.map_or(0.0, |i| x_new[i]);
+            let vb = s.ib.map_or(0.0, |i| x_new[i]);
+            let v_new = va - vb;
+            let i_new = s.geq * (v_new - s.v_prev) - if trap { s.i_prev } else { 0.0 };
+            s.v_prev = v_new;
+            s.i_prev = i_new;
+        }
+        for s in &mut inds {
+            let va = s.ia.map_or(0.0, |i| x_new[i]);
+            let vb = s.ib.map_or(0.0, |i| x_new[i]);
+            s.v_prev = va - vb;
+        }
+
+        x = x_new;
+        times.push(t);
+        data.push(record(&x));
+    }
+
+    Ok(TransientResult {
+        times,
+        data,
+        mapping,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    /// RC low-pass step response: v(t) = V·(1 − e^{−t/RC}).
+    fn rc_circuit() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        c.add_resistor("R1", inp, out, 1000.0).unwrap();
+        c.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        (c, out)
+    }
+
+    #[test]
+    fn rc_charges_with_correct_time_constant() {
+        // Start the source at 0 and step it so the DC point is v=0.
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource(
+            "V1",
+            inp,
+            Circuit::GROUND,
+            Waveform::Step {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 0.0,
+                rise: 1e-12,
+            },
+        )
+        .unwrap();
+        c.add_resistor("R1", inp, out, 1000.0).unwrap();
+        c.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        let tau = 1e-6;
+        let res = run_transient(&c, &TransientSpec::new(3.0 * tau, tau / 1000.0)).unwrap();
+        let v = res.voltage(out);
+        let t = res.time();
+        // Compare a few points against the analytic solution.
+        for &frac in &[0.5, 1.0, 2.0, 2.5] {
+            let idx = t
+                .iter()
+                .position(|&tt| tt >= frac * tau)
+                .expect("time point exists");
+            let expected = 1.0 - (-t[idx] / tau).exp();
+            assert!(
+                (v[idx] - expected).abs() < 2e-3,
+                "at {} tau: {} vs {}",
+                frac,
+                v[idx],
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn dc_source_starts_settled() {
+        // With Waveform::dc the DC op point already has the cap charged.
+        let (c, out) = rc_circuit();
+        let res = run_transient(&c, &TransientSpec::new(1e-6, 1e-9)).unwrap();
+        let v = res.voltage(out);
+        assert!((v[0] - 1.0).abs() < 1e-9, "cap pre-charged at t=0");
+        assert!((v.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rl_current_rises_exponentially() {
+        // Series R-L driven by a step: i(t) = (V/R)(1 − e^{−tR/L}).
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::step(1.0, 1e-15))
+            .unwrap();
+        c.add_resistor("R1", inp, mid, 10.0).unwrap();
+        let l1 = c.add_inductor("L1", mid, Circuit::GROUND, 1e-6).unwrap();
+        let tau = 1e-6 / 10.0;
+        let res = run_transient(&c, &TransientSpec::new(10.0 * tau, tau / 500.0)).unwrap();
+        let i = res.branch_current(l1).expect("inductor is a branch");
+        let t = res.time();
+        let idx = t.iter().position(|&tt| tt >= tau).unwrap();
+        let expected = 0.1 * (1.0 - (-t[idx] / tau).exp());
+        assert!(
+            (i[idx] - expected).abs() < 1e-3 * 0.1,
+            "{} vs {}",
+            i[idx],
+            expected
+        );
+        // Settles to V/R.
+        assert!((i.last().unwrap() - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lc_tank_rings_after_source_release() {
+        // DC establishes i_L = 1 mA through the inductor (source at 1 V
+        // over 1 kΩ, L shorts the tank node). The source then steps to 0
+        // and the stored magnetic energy rings in the high-Q parallel RLC
+        // (Q ≈ R/√(L/C) ≈ 31), swinging ±i_L·√(L/C) ≈ ±31 mV.
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let drive = c.node("drive");
+        c.add_vsource(
+            "V1",
+            drive,
+            Circuit::GROUND,
+            Waveform::Step {
+                v0: 1.0,
+                v1: 0.0,
+                delay: 0.0,
+                rise: 1e-12,
+            },
+        )
+        .unwrap();
+        c.add_resistor("R1", drive, top, 1000.0).unwrap();
+        c.add_capacitor("C1", top, Circuit::GROUND, 1e-12).unwrap();
+        let _l = c.add_inductor("L1", top, Circuit::GROUND, 1e-9).unwrap();
+        let omega = 1.0 / (1e-9f64 * 1e-12).sqrt();
+        let period = 2.0 * std::f64::consts::PI / omega;
+        let res = run_transient(
+            &c,
+            &TransientSpec::new(3.0 * period, period / 400.0)
+                .integrator(Integrator::Trapezoidal),
+        )
+        .unwrap();
+        let v = res.voltage(top);
+        let vmax = v.iter().cloned().fold(f64::MIN, f64::max);
+        let vmin = v.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            vmax > 0.01 && vmin < -0.01,
+            "should ring: {vmax} / {vmin}"
+        );
+    }
+
+    #[test]
+    fn coupled_inductors_transfer_energy() {
+        // Transformer action: step into L1 induces voltage across L2.
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        let sec = c.node("sec");
+        c.add_vsource("V1", inp, Circuit::GROUND, Waveform::step(1.0, 1e-12))
+            .unwrap();
+        c.add_resistor("R1", inp, mid, 50.0).unwrap();
+        let l1 = c.add_inductor("L1", mid, Circuit::GROUND, 1e-9).unwrap();
+        let l2 = c.add_inductor("L2", sec, Circuit::GROUND, 1e-9).unwrap();
+        c.add_mutual("K1", l1, l2, 0.8e-9).unwrap();
+        c.add_resistor("RL", sec, Circuit::GROUND, 50.0).unwrap();
+        let res = run_transient(&c, &TransientSpec::new(2e-10, 1e-13)).unwrap();
+        let v_sec = res.voltage(sec);
+        let peak = v_sec.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        assert!(peak > 1e-3, "mutual coupling must induce secondary voltage, got {peak}");
+    }
+
+    #[test]
+    fn probes_restrict_recording() {
+        let (c, out) = rc_circuit();
+        let res = run_transient(
+            &c,
+            &TransientSpec::new(1e-7, 1e-9).probes(vec![out]),
+        )
+        .unwrap();
+        assert_eq!(res.voltage(out).len(), res.len());
+        assert!(res.branch_current(crate::ElementId(0)).is_none());
+    }
+
+    #[test]
+    fn bad_specs_rejected() {
+        let (c, _) = rc_circuit();
+        assert!(run_transient(&c, &TransientSpec::new(-1.0, 1e-9)).is_err());
+        assert!(run_transient(&c, &TransientSpec::new(1e-9, 0.0)).is_err());
+        assert!(run_transient(&c, &TransientSpec::new(1e-9, 1.0)).is_err());
+        let bad_probe = TransientSpec::new(1e-7, 1e-9).probes(vec![Circuit::GROUND]);
+        assert!(run_transient(&c, &bad_probe).is_err());
+    }
+
+    #[test]
+    fn backward_euler_also_converges() {
+        let (c, out) = rc_circuit();
+        let res = run_transient(
+            &c,
+            &TransientSpec::new(1e-6, 1e-9).integrator(Integrator::BackwardEuler),
+        )
+        .unwrap();
+        assert!((res.voltage(out).last().unwrap() - 1.0).abs() < 1e-6);
+    }
+}

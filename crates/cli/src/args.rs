@@ -1,0 +1,342 @@
+//! Argument parsing (hand-rolled; values accept SPICE suffixes).
+
+use crate::CliError;
+use vpec_circuit::spice_in::parse_value;
+use vpec_core::harness::ModelKind;
+
+/// Which subcommand was requested.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `vpec extract`
+    Extract,
+    /// `vpec model`
+    Model,
+    /// `vpec simulate`
+    Simulate,
+    /// `vpec noise`
+    Noise,
+    /// `vpec export`
+    Export,
+    /// `vpec help`
+    Help,
+}
+
+/// The structure under test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Structure {
+    /// A parallel bus.
+    Bus {
+        /// Line count.
+        bits: usize,
+        /// Segments per line.
+        segments: usize,
+        /// Misalignment fraction.
+        misalign: f64,
+        /// Shield (P/G) wire every `k` signals, if set.
+        shield_every: Option<usize>,
+    },
+    /// The three-turn spiral (or `turns` turns).
+    Spiral {
+        /// Number of turns.
+        turns: usize,
+    },
+}
+
+/// Fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: Command,
+    /// The structure to build.
+    pub structure: Structure,
+    /// Model kind.
+    pub kind: ModelKind,
+    /// Transient window (seconds).
+    pub t_stop: f64,
+    /// Time step (seconds).
+    pub dt: f64,
+    /// Probed net indices (empty = all).
+    pub probes: Vec<usize>,
+    /// Noise threshold (volts).
+    pub threshold: f64,
+    /// Output path.
+    pub output: Option<String>,
+}
+
+impl Default for ParsedArgs {
+    fn default() -> Self {
+        ParsedArgs {
+            command: Command::Help,
+            structure: Structure::Bus {
+                bits: 8,
+                segments: 1,
+                misalign: 0.0,
+                shield_every: None,
+            },
+            kind: ModelKind::VpecFull,
+            t_stop: 0.5e-9,
+            dt: 1e-12,
+            probes: Vec::new(),
+            threshold: 10e-3,
+            output: None,
+        }
+    }
+}
+
+/// Parses a model-kind token.
+///
+/// # Errors
+///
+/// [`CliError::usage`] for unknown kinds or malformed parameters.
+pub fn parse_kind(tok: &str) -> Result<ModelKind, CliError> {
+    let (name, param) = match tok.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (tok, None),
+    };
+    let num = |p: Option<&str>, what: &str| -> Result<f64, CliError> {
+        let p = p.ok_or_else(|| CliError::usage(format!("{name} needs a parameter ({what})")))?;
+        parse_value(p).map_err(CliError::usage)
+    };
+    match name {
+        "peec" => Ok(ModelKind::Peec),
+        "vpec-full" | "full" => Ok(ModelKind::VpecFull),
+        "vpec-localized" | "localized" => Ok(ModelKind::VpecLocalized),
+        "tvpec-g" => {
+            let p = param
+                .ok_or_else(|| CliError::usage("tvpec-g needs a window, e.g. tvpec-g:8,2"))?;
+            let mut it = p.split(',');
+            let nw = it
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| CliError::usage("tvpec-g window must be integers"))?;
+            let nl = match it.next() {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| CliError::usage("tvpec-g window must be integers"))?,
+                None => 1,
+            };
+            Ok(ModelKind::TVpecGeometric { nw, nl })
+        }
+        "tvpec-n" => Ok(ModelKind::TVpecNumerical {
+            threshold: num(param, "threshold")?,
+        }),
+        "wvpec-g" => {
+            let p = param.ok_or_else(|| CliError::usage("wvpec-g needs a window size"))?;
+            let b = p
+                .parse::<usize>()
+                .map_err(|_| CliError::usage("wvpec-g window must be an integer"))?;
+            Ok(ModelKind::WVpecGeometric { b })
+        }
+        "wvpec-n" => Ok(ModelKind::WVpecNumerical {
+            threshold: num(param, "threshold")?,
+        }),
+        "shift" => Ok(ModelKind::ShiftTruncated {
+            r0: num(param, "shell radius in meters")?,
+        }),
+        other => Err(CliError::usage(format!(
+            "unknown model kind: {other} (see `vpec help`)"
+        ))),
+    }
+}
+
+/// Parses the full argument vector (without the program name).
+///
+/// # Errors
+///
+/// [`CliError::usage`] for unknown commands/flags or malformed values.
+pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
+    let mut out = ParsedArgs::default();
+    let mut it = argv.iter().peekable();
+    let cmd = it
+        .next()
+        .ok_or_else(|| CliError::usage("missing command (see `vpec help`)"))?;
+    out.command = match cmd.as_str() {
+        "extract" => Command::Extract,
+        "model" => Command::Model,
+        "simulate" | "sim" => Command::Simulate,
+        "noise" => Command::Noise,
+        "export" => Command::Export,
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(CliError::usage(format!("unknown command: {other}"))),
+    };
+
+    let mut bits = 8usize;
+    let mut segments = 1usize;
+    let mut misalign = 0.0f64;
+    let mut shield_every: Option<usize> = None;
+    let mut spiral = false;
+    let mut turns = 3usize;
+
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, CliError> {
+            it.next()
+                .ok_or_else(|| CliError::usage(format!("{flag} needs a value ({what})")))
+        };
+        match flag.as_str() {
+            "--bits" => {
+                bits = value("line count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--bits must be an integer"))?;
+            }
+            "--segments" => {
+                segments = value("segment count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--segments must be an integer"))?;
+            }
+            "--misalign" => {
+                misalign = parse_value(value("fraction")?).map_err(CliError::usage)?;
+            }
+            "--shield" => {
+                let k = value("signals per shield bay")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--shield must be an integer"))?;
+                if k == 0 {
+                    return Err(CliError::usage("--shield must be at least 1"));
+                }
+                shield_every = Some(k);
+            }
+            "--spiral" => spiral = true,
+            "--turns" => {
+                turns = value("turn count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--turns must be an integer"))?;
+            }
+            "--kind" => out.kind = parse_kind(value("model kind")?)?,
+            "--tstop" => {
+                out.t_stop = parse_value(value("seconds")?).map_err(CliError::usage)?;
+            }
+            "--dt" => out.dt = parse_value(value("seconds")?).map_err(CliError::usage)?,
+            "--probe" => {
+                out.probes = value("net list")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| CliError::usage("--probe must be net indices"))?;
+            }
+            "--threshold" => {
+                out.threshold = parse_value(value("volts")?).map_err(CliError::usage)?;
+            }
+            "-o" | "--output" => out.output = Some(value("path")?.clone()),
+            other => return Err(CliError::usage(format!("unknown option: {other}"))),
+        }
+    }
+
+    out.structure = if spiral {
+        Structure::Spiral { turns }
+    } else {
+        Structure::Bus {
+            bits,
+            segments,
+            misalign,
+            shield_every,
+        }
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_kinds() {
+        assert_eq!(parse_kind("peec").unwrap(), ModelKind::Peec);
+        assert_eq!(parse_kind("vpec-full").unwrap(), ModelKind::VpecFull);
+        assert_eq!(parse_kind("localized").unwrap(), ModelKind::VpecLocalized);
+        assert_eq!(
+            parse_kind("tvpec-g:8,2").unwrap(),
+            ModelKind::TVpecGeometric { nw: 8, nl: 2 }
+        );
+        assert_eq!(
+            parse_kind("tvpec-g:16").unwrap(),
+            ModelKind::TVpecGeometric { nw: 16, nl: 1 }
+        );
+        assert!(matches!(
+            parse_kind("tvpec-n:0.01").unwrap(),
+            ModelKind::TVpecNumerical { .. }
+        ));
+        assert_eq!(
+            parse_kind("wvpec-g:8").unwrap(),
+            ModelKind::WVpecGeometric { b: 8 }
+        );
+        assert!(matches!(
+            parse_kind("shift:10u").unwrap(),
+            ModelKind::ShiftTruncated { .. }
+        ));
+        assert!(parse_kind("nope").is_err());
+        assert!(parse_kind("tvpec-g").is_err());
+        assert!(parse_kind("wvpec-g:x").is_err());
+    }
+
+    #[test]
+    fn parses_simulate_line() {
+        let a = parse_args(&argv(
+            "simulate --bits 32 --kind wvpec-g:8 --tstop 0.5n --dt 1p --probe 1,2 -o w.csv",
+        ))
+        .unwrap();
+        assert_eq!(a.command, Command::Simulate);
+        assert_eq!(
+            a.structure,
+            Structure::Bus {
+                bits: 32,
+                segments: 1,
+                misalign: 0.0,
+                shield_every: None,
+            }
+        );
+        assert_eq!(a.kind, ModelKind::WVpecGeometric { b: 8 });
+        assert!((a.t_stop - 0.5e-9).abs() < 1e-20);
+        assert!((a.dt - 1e-12).abs() < 1e-22);
+        assert_eq!(a.probes, vec![1, 2]);
+        assert_eq!(a.output.as_deref(), Some("w.csv"));
+    }
+
+    #[test]
+    fn parses_spiral_and_noise() {
+        let a = parse_args(&argv("noise --spiral --turns 2 --threshold 10m")).unwrap();
+        assert_eq!(a.command, Command::Noise);
+        assert_eq!(a.structure, Structure::Spiral { turns: 2 });
+        assert!((a.threshold - 10e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("simulate --bits")).is_err());
+        assert!(parse_args(&argv("simulate --bits x")).is_err());
+        assert!(parse_args(&argv("simulate --wat 3")).is_err());
+        assert!(parse_args(&argv("simulate --probe a,b")).is_err());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse_args(&argv("extract")).unwrap();
+        assert_eq!(a.command, Command::Extract);
+        assert_eq!(
+            a.structure,
+            Structure::Bus {
+                bits: 8,
+                segments: 1,
+                misalign: 0.0,
+                shield_every: None,
+            }
+        );
+        assert_eq!(a.kind, ModelKind::VpecFull);
+        let sh = parse_args(&argv("extract --bits 8 --shield 4")).unwrap();
+        assert_eq!(
+            sh.structure,
+            Structure::Bus {
+                bits: 8,
+                segments: 1,
+                misalign: 0.0,
+                shield_every: Some(4),
+            }
+        );
+        assert!(parse_args(&argv("extract --shield 0")).is_err());
+    }
+}

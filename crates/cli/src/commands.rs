@@ -1,0 +1,372 @@
+//! Command implementations: each returns the text to print.
+
+use crate::args::{ParsedArgs, Structure};
+use crate::CliError;
+use std::fmt::Write as _;
+use vpec_circuit::metrics::peak_abs;
+use vpec_circuit::spice_out::to_spice;
+use vpec_circuit::TransientSpec;
+use vpec_core::harness::Experiment;
+use vpec_core::noise::noise_scan;
+use vpec_core::DriveConfig;
+use vpec_extract::ExtractionConfig;
+use vpec_geometry::{BusSpec, SpiralSpec};
+
+fn build_experiment(args: &ParsedArgs) -> Result<Experiment, CliError> {
+    let (layout, cfg, drive) = match args.structure {
+        Structure::Bus {
+            bits,
+            segments,
+            misalign,
+            shield_every,
+        } => {
+            if bits == 0 {
+                return Err(CliError::usage("--bits must be at least 1"));
+            }
+            let mut spec = BusSpec::new(bits).segments(segments).misalignment(misalign);
+            if let Some(k) = shield_every {
+                spec = spec.shield_every(k);
+            }
+            let layout = spec.build();
+            // The aggressor is the first *signal* net.
+            let first_signal = layout.signal_nets().first().copied().unwrap_or(0);
+            (
+                layout,
+                ExtractionConfig::paper_default(),
+                DriveConfig::paper_default().aggressors(vec![first_signal]),
+            )
+        }
+        Structure::Spiral { turns } => {
+            if turns == 0 {
+                return Err(CliError::usage("--turns must be at least 1"));
+            }
+            let spec = if turns == 3 {
+                SpiralSpec::paper_three_turn()
+            } else {
+                SpiralSpec::new(turns)
+            };
+            let cfg = match spec.substrate_spec() {
+                Some(sub) => ExtractionConfig::paper_default().with_substrate(sub),
+                None => ExtractionConfig::paper_default(),
+            };
+            (spec.build(), cfg, DriveConfig::paper_default())
+        }
+    };
+    Ok(Experiment::new(layout, &cfg, drive))
+}
+
+fn runtime(e: impl std::fmt::Display) -> CliError {
+    CliError::runtime(e.to_string())
+}
+
+/// `vpec extract`: parasitic summary.
+///
+/// # Errors
+///
+/// Usage errors for bad structure parameters.
+pub fn extract(args: &ParsedArgs) -> Result<String, CliError> {
+    let exp = build_experiment(args)?;
+    let p = &exp.parasitics;
+    let n = p.len();
+    let mut out = String::new();
+    let _ = writeln!(out, "filaments: {n} in {} nets", exp.layout.nets().len());
+    let _ = writeln!(
+        out,
+        "series resistance: {:.3} .. {:.3} Ω",
+        p.resistance.iter().cloned().fold(f64::MAX, f64::min),
+        p.resistance.iter().cloned().fold(0.0, f64::max)
+    );
+    let _ = writeln!(
+        out,
+        "self inductance: {:.4} .. {:.4} nH",
+        (0..n)
+            .map(|i| p.inductance[(i, i)])
+            .fold(f64::MAX, f64::min)
+            * 1e9,
+        (0..n).map(|i| p.inductance[(i, i)]).fold(0.0, f64::max) * 1e9
+    );
+    let mut max_coupling: f64 = 0.0;
+    for i in 0..n {
+        for j in 0..i {
+            max_coupling = max_coupling.max(p.inductance[(i, j)].abs());
+        }
+    }
+    let _ = writeln!(out, "strongest mutual: {:.4} nH", max_coupling * 1e9);
+    let _ = writeln!(
+        out,
+        "ground capacitance per filament: {:.2} .. {:.2} fF",
+        p.cap_ground.iter().cloned().fold(f64::MAX, f64::min) * 1e15,
+        p.cap_ground.iter().cloned().fold(0.0, f64::max) * 1e15
+    );
+    let _ = writeln!(out, "coupling capacitances: {}", p.cap_coupling.len());
+    Ok(out)
+}
+
+/// `vpec model`: passivity/sparsity report for a VPEC-family kind.
+///
+/// # Errors
+///
+/// Usage error when `--kind peec`/`shift` is requested (no Ĝ to report).
+pub fn model(args: &ParsedArgs) -> Result<String, CliError> {
+    let exp = build_experiment(args)?;
+    let (model, secs) = exp.vpec_model(args.kind).map_err(runtime)?;
+    let rep = model.passivity_report();
+    let mut out = String::new();
+    let _ = writeln!(out, "kind: {}", args.kind.label());
+    let _ = writeln!(out, "built in {:.2} ms", secs * 1e3);
+    let _ = writeln!(
+        out,
+        "elements: {} (sparse factor {:.2}%)",
+        model.element_count(),
+        100.0 * model.sparse_factor()
+    );
+    let _ = writeln!(out, "symmetric: {}", rep.symmetric);
+    let _ = writeln!(out, "positive definite (passive): {}", rep.positive_definite);
+    let _ = writeln!(
+        out,
+        "strictly diagonally dominant: {}",
+        rep.strictly_diag_dominant
+    );
+    if let Ok(margin) = model.passivity_margin() {
+        let _ = writeln!(
+            out,
+            "eigenvalue margin: min {:.4e}, max {:.4e} (condition {:.2e})",
+            margin.min,
+            margin.max,
+            margin.condition()
+        );
+    }
+    Ok(out)
+}
+
+/// `vpec simulate`: crosstalk transient; optionally writes CSV.
+///
+/// # Errors
+///
+/// Runtime errors from the model build or simulation; I/O errors writing
+/// the CSV.
+pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
+    let exp = build_experiment(args)?;
+    let built = exp.build(args.kind).map_err(runtime)?;
+    let spec = TransientSpec::new(args.t_stop, args.dt);
+    let (res, secs) = built.run_transient(&spec).map_err(runtime)?;
+    let nets: Vec<usize> = if args.probes.is_empty() {
+        (0..exp.layout.nets().len()).collect()
+    } else {
+        for &p in &args.probes {
+            if p >= exp.layout.nets().len() {
+                return Err(CliError::usage(format!("--probe {p}: no such net")));
+            }
+        }
+        args.probes.clone()
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} | {} time points | sim {:.1} ms",
+        args.kind.label(),
+        res.len(),
+        secs * 1e3
+    );
+    for &k in &nets {
+        let w = built.far_voltage(&res, k);
+        let _ = writeln!(
+            out,
+            "net {k}: far-end peak |V| = {:.3} mV, final = {:+.4} V",
+            peak_abs(&w) * 1e3,
+            w.last().copied().unwrap_or(0.0)
+        );
+    }
+
+    if let Some(path) = &args.output {
+        let mut csv = String::from("time_s");
+        for &k in &nets {
+            let _ = write!(csv, ",net{k}_far_v");
+        }
+        csv.push('\n');
+        let waves: Vec<Vec<f64>> = nets.iter().map(|&k| built.far_voltage(&res, k)).collect();
+        for (i, &t) in res.time().iter().enumerate() {
+            let _ = write!(csv, "{t:.6e}");
+            for w in &waves {
+                let _ = write!(csv, ",{:.6e}", w[i]);
+            }
+            csv.push('\n');
+        }
+        std::fs::write(path, csv).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        let _ = writeln!(out, "waveforms written to {path}");
+    }
+    Ok(out)
+}
+
+/// `vpec noise`: noise scan with margin check.
+///
+/// # Errors
+///
+/// Runtime errors from the scan.
+pub fn noise(args: &ParsedArgs) -> Result<String, CliError> {
+    let exp = build_experiment(args)?;
+    let spec = TransientSpec::new(args.t_stop, args.dt);
+    let report = noise_scan(&exp, args.kind, &spec).map_err(runtime)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} | aggressors {:?} | scan {:.1} ms",
+        args.kind.label(),
+        report.aggressors,
+        report.seconds * 1e3
+    );
+    for v in &report.victims {
+        let _ = writeln!(
+            out,
+            "net {:>3}: peak {:>8.3} mV at {:>6.1} ps",
+            v.net,
+            v.peak * 1e3,
+            v.peak_time * 1e12
+        );
+    }
+    let offenders = report.above(args.threshold);
+    if offenders.is_empty() {
+        let _ = writeln!(
+            out,
+            "all victims within the {:.1} mV margin",
+            args.threshold * 1e3
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{} victim(s) exceed the {:.1} mV margin:",
+            offenders.len(),
+            args.threshold * 1e3
+        );
+        for v in offenders {
+            let _ = writeln!(out, "  net {} at {:.3} mV", v.net, v.peak * 1e3);
+        }
+    }
+    Ok(out)
+}
+
+/// `vpec export`: write the SPICE deck.
+///
+/// # Errors
+///
+/// Usage error if `-o` is missing; runtime/I/O errors otherwise.
+pub fn export(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args
+        .output
+        .as_ref()
+        .ok_or_else(|| CliError::usage("export needs -o <file>"))?;
+    let exp = build_experiment(args)?;
+    let built = exp.build(args.kind).map_err(runtime)?;
+    let deck = to_spice(
+        &built.model.circuit,
+        &format!("{} model exported by vpec-cli", args.kind.label()),
+    );
+    std::fs::write(path, &deck).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    Ok(format!(
+        "{} deck: {} bytes, {} elements -> {path}\n",
+        args.kind.label(),
+        deck.len(),
+        built.model.circuit.element_count()
+    ))
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Propagates the per-command errors.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command {
+        crate::Command::Extract => extract(args),
+        crate::Command::Model => model(args),
+        crate::Command::Simulate => simulate(args),
+        crate::Command::Noise => noise(args),
+        crate::Command::Export => export(args),
+        crate::Command::Help => Ok(crate::USAGE.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        run(&parse_args(&argv(line))?)
+    }
+
+    #[test]
+    fn extract_summarizes() {
+        let out = run_line("extract --bits 4").unwrap();
+        assert!(out.contains("filaments: 4"));
+        assert!(out.contains("nH"));
+        let out = run_line("extract --spiral").unwrap();
+        assert!(out.contains("filaments: 92"));
+    }
+
+    #[test]
+    fn model_reports_passivity() {
+        let out = run_line("model --bits 6 --kind wvpec-g:3").unwrap();
+        assert!(out.contains("positive definite (passive): true"));
+        assert!(out.contains("sparse factor"));
+        // PEEC has no Ĝ.
+        assert!(run_line("model --bits 4 --kind peec").is_err());
+    }
+
+    #[test]
+    fn simulate_reports_and_writes_csv() {
+        let tmp = std::env::temp_dir().join("vpec_cli_test_wave.csv");
+        let line = format!(
+            "simulate --bits 3 --kind peec --tstop 0.1n --dt 1p --probe 0,1 -o {}",
+            tmp.display()
+        );
+        let out = run(&parse_args(&argv(&line)).unwrap()).unwrap();
+        assert!(out.contains("net 0"));
+        assert!(out.contains("net 1"));
+        let csv = std::fs::read_to_string(&tmp).unwrap();
+        assert!(csv.starts_with("time_s,net0_far_v,net1_far_v"));
+        assert!(csv.lines().count() > 50);
+        let _ = std::fs::remove_file(&tmp);
+    }
+
+    #[test]
+    fn noise_scan_flags_offenders() {
+        let out = run_line("noise --bits 6 --kind vpec-full --tstop 0.2n --threshold 1m")
+            .unwrap();
+        assert!(out.contains("exceed the 1.0 mV margin"));
+        let quiet = run_line("noise --bits 6 --kind vpec-full --tstop 0.2n --threshold 1k")
+            .unwrap();
+        assert!(quiet.contains("within the"));
+    }
+
+    #[test]
+    fn export_round_trips_through_parser() {
+        let tmp = std::env::temp_dir().join("vpec_cli_test_deck.sp");
+        let line = format!("export --bits 3 --kind vpec-full -o {}", tmp.display());
+        let out = run(&parse_args(&argv(&line)).unwrap()).unwrap();
+        assert!(out.contains("bytes"));
+        let deck = std::fs::read_to_string(&tmp).unwrap();
+        let parsed = vpec_circuit::spice_in::from_spice(&deck).unwrap();
+        assert!(parsed.element_count() > 10);
+        let _ = std::fs::remove_file(&tmp);
+        // Missing -o is a usage error.
+        assert!(run_line("export --bits 3").is_err());
+    }
+
+    #[test]
+    fn probe_validation() {
+        assert!(run_line("simulate --bits 3 --probe 9 --tstop 0.1n").is_err());
+        assert!(run_line("simulate --bits 0").is_err());
+    }
+
+    #[test]
+    fn help_text() {
+        let out = run_line("help").unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

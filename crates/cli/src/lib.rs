@@ -1,0 +1,94 @@
+//! Implementation of the `vpec` command-line tool.
+//!
+//! ```text
+//! vpec extract  --bits 32 [--segments 2] [--misalign 0.05] | --spiral [--turns 3]
+//! vpec model    <structure> --kind wvpec-g:8
+//! vpec simulate <structure> --kind peec [--tstop 0.5n] [--dt 1p]
+//!               [--probe 1,2] [-o wave.csv]
+//! vpec noise    <structure> --kind tvpec-n:0.01 [--threshold 10m]
+//! vpec export   <structure> --kind vpec-full -o deck.sp
+//! ```
+//!
+//! All numeric values accept SPICE magnitude suffixes (`1p`, `0.5n`,
+//! `10m`, `2k`, …). Model kinds: `peec`, `vpec-full`, `vpec-localized`,
+//! `tvpec-g:NW[,NL]`, `tvpec-n:TAU`, `wvpec-g:B`, `wvpec-n:TAU`,
+//! `shift:R0` (R0 in meters, suffixes allowed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParsedArgs};
+
+/// CLI error: a message for the user plus a process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Suggested process exit code (2 = usage, 1 = runtime failure).
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    /// A runtime error (exit code 1).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Usage text printed by `vpec help`.
+pub const USAGE: &str = "\
+vpec — VPEC interconnect modeling toolkit
+
+USAGE:
+  vpec <command> [structure options] [command options]
+
+COMMANDS:
+  extract    extract parasitics and print a summary
+  model      build a VPEC model and print its passivity/sparsity report
+  simulate   run a crosstalk transient; optionally write waveform CSV
+  noise      scan far-end noise on every quiet net
+  export     write a SPICE deck for the chosen model
+  help       show this text
+
+STRUCTURE (default: 8-bit bus with the paper's geometry):
+  --bits N          parallel bus with N lines
+  --segments S      series segments per line (default 1)
+  --misalign F      longitudinal misalignment fraction (default 0)
+  --shield K        insert a grounded shield wire every K signals
+  --spiral          three-turn spiral on lossy substrate instead of a bus
+  --turns T         spiral turns (default 3)
+
+COMMON OPTIONS:
+  --kind K          model kind (default vpec-full): peec | vpec-full |
+                    vpec-localized | tvpec-g:NW[,NL] | tvpec-n:TAU |
+                    wvpec-g:B | wvpec-n:TAU | shift:R0
+  --tstop T         transient window (default 0.5n seconds)
+  --dt T            time step (default 1p seconds)
+  --probe LIST      comma-separated net indices to record (default: all)
+  --threshold V     noise-margin threshold in volts (noise command)
+  -o FILE           output file (simulate: CSV; export: SPICE deck)
+
+Values accept SPICE suffixes: 1p, 0.5n, 10m, 2k, 10meg, ...
+";

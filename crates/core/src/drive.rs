@@ -1,0 +1,86 @@
+//! Driver/receiver configuration for crosstalk experiments.
+
+use vpec_circuit::Waveform;
+
+/// How the nets of a layout are driven and loaded (paper §II-C):
+/// "interconnect drivers and receivers are modeled by the resistance
+/// Rd = 120 Ω and the loading capacitance CL = 10 fF", with a 1 V step of
+/// 10 ps rise time on the aggressor and all other bits quiet (grounded
+/// through their drivers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveConfig {
+    /// Driver resistance in ohms.
+    pub rd: f64,
+    /// Receiver load capacitance in farads.
+    pub cl: f64,
+    /// Stimulus applied to each aggressor net.
+    pub stimulus: Waveform,
+    /// Net indices that carry the stimulus; all other nets are quiet.
+    pub aggressors: Vec<usize>,
+    /// Also give aggressor sources a unit AC magnitude (for AC sweeps).
+    pub ac_stimulus: bool,
+}
+
+impl DriveConfig {
+    /// The paper's setting: Rd = 120 Ω, CL = 10 fF, 1 V step with 10 ps
+    /// rise on net 0, AC stimulus enabled.
+    pub fn paper_default() -> Self {
+        DriveConfig {
+            rd: 120.0,
+            cl: 10e-15,
+            stimulus: Waveform::step(1.0, 10e-12),
+            aggressors: vec![0],
+            ac_stimulus: true,
+        }
+    }
+
+    /// Replaces the stimulus waveform.
+    #[must_use]
+    pub fn stimulus(mut self, w: Waveform) -> Self {
+        self.stimulus = w;
+        self
+    }
+
+    /// Replaces the aggressor set.
+    #[must_use]
+    pub fn aggressors(mut self, nets: Vec<usize>) -> Self {
+        self.aggressors = nets;
+        self
+    }
+
+    /// `true` if net `k` is an aggressor.
+    pub fn is_aggressor(&self, k: usize) -> bool {
+        self.aggressors.contains(&k)
+    }
+}
+
+impl Default for DriveConfig {
+    fn default() -> Self {
+        DriveConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let d = DriveConfig::paper_default();
+        assert_eq!(d.rd, 120.0);
+        assert_eq!(d.cl, 10e-15);
+        assert!(d.is_aggressor(0));
+        assert!(!d.is_aggressor(1));
+        assert_eq!(DriveConfig::default(), d);
+    }
+
+    #[test]
+    fn builders() {
+        let d = DriveConfig::paper_default()
+            .aggressors(vec![2, 3])
+            .stimulus(Waveform::dc(0.5));
+        assert!(d.is_aggressor(3));
+        assert!(!d.is_aggressor(0));
+        assert_eq!(d.stimulus, Waveform::dc(0.5));
+    }
+}

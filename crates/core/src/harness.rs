@@ -1,0 +1,324 @@
+//! High-level experiment harness: build any model variant over a layout,
+//! time the build, simulate, and collect the statistics the paper reports
+//! (build time, simulation time, sparse factor, netlist size, waveforms).
+
+use crate::lower::build_vpec;
+use crate::peec::{build_peec, ModelCircuit};
+use crate::truncation::{truncate_geometric, truncate_numerical};
+use crate::windowed::{windowed_geometric, windowed_numerical};
+use crate::{CoreError, DriveConfig, VpecModel};
+use std::time::Instant;
+use vpec_circuit::ac::{run_ac, AcSpec};
+use vpec_circuit::spice_out::netlist_size;
+use vpec_circuit::transient::run_transient;
+use vpec_circuit::{AcResult, TransientResult, TransientSpec};
+use vpec_extract::{extract, ExtractionConfig, Parasitics};
+use vpec_geometry::Layout;
+
+/// Which interconnect model to build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelKind {
+    /// Full PEEC (dense RLCM) — the accuracy and runtime baseline.
+    Peec,
+    /// Full VPEC via complete inversion.
+    VpecFull,
+    /// Localized VPEC (adjacent couplings of the full model) — the
+    /// inaccurate baseline of Fig. 2.
+    VpecLocalized,
+    /// Geometrically truncated VPEC with window `(nw, nl)`.
+    TVpecGeometric {
+        /// Width-direction window (bits).
+        nw: usize,
+        /// Length-direction window (segments).
+        nl: usize,
+    },
+    /// Numerically truncated VPEC with per-row coupling-strength threshold.
+    TVpecNumerical {
+        /// Minimum kept `|Ĝᵢⱼ|/Ĝᵢᵢ`.
+        threshold: f64,
+    },
+    /// Geometrically windowed VPEC with uniform window size `b`.
+    WVpecGeometric {
+        /// Coupling-window size.
+        b: usize,
+    },
+    /// Numerically windowed VPEC with `|Lₘⱼ|/Lₘₘ` threshold.
+    WVpecNumerical {
+        /// Minimum coupling strength that joins a window.
+        threshold: f64,
+    },
+    /// Shift-truncation baseline (Krauter–Pileggi shell model): PEEC with
+    /// the partial-inductance matrix sparsified by a return shell of
+    /// radius `r0` (meters). One of the prior methods the paper's intro
+    /// critiques.
+    ShiftTruncated {
+        /// Shell radius in meters.
+        r0: f64,
+    },
+}
+
+impl ModelKind {
+    /// Short human-readable label (used in experiment tables).
+    pub fn label(&self) -> String {
+        match self {
+            ModelKind::Peec => "PEEC".to_string(),
+            ModelKind::VpecFull => "full VPEC".to_string(),
+            ModelKind::VpecLocalized => "localized VPEC".to_string(),
+            ModelKind::TVpecGeometric { nw, nl } => format!("gtVPEC({nw},{nl})"),
+            ModelKind::TVpecNumerical { threshold } => format!("ntVPEC({threshold:.1e})"),
+            ModelKind::WVpecGeometric { b } => format!("gwVPEC(b={b})"),
+            ModelKind::WVpecNumerical { threshold } => format!("nwVPEC({threshold:.1e})"),
+            ModelKind::ShiftTruncated { r0 } => format!("shift(r0={:.0}um)", r0 * 1e6),
+        }
+    }
+}
+
+/// A prepared experiment: layout + extracted parasitics + drive.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The layout under test.
+    pub layout: Layout,
+    /// Extracted parasitics.
+    pub parasitics: Parasitics,
+    /// Driver/receiver configuration.
+    pub drive: DriveConfig,
+}
+
+impl Experiment {
+    /// Extracts parasitics for `layout` and prepares the experiment.
+    pub fn new(layout: Layout, config: &ExtractionConfig, drive: DriveConfig) -> Self {
+        let parasitics = extract(&layout, config);
+        Experiment {
+            layout,
+            parasitics,
+            drive,
+        }
+    }
+
+    /// Builds the VPEC model for a (VPEC-family) model kind, timing the
+    /// model construction — this is the "extraction time" of Fig. 4.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when called with
+    /// [`ModelKind::Peec`], or any model-construction failure.
+    pub fn vpec_model(&self, kind: ModelKind) -> Result<(VpecModel, f64), CoreError> {
+        let t0 = Instant::now();
+        let model = match kind {
+            ModelKind::Peec | ModelKind::ShiftTruncated { .. } => {
+                return Err(CoreError::InvalidParameter {
+                    reason: "PEEC-family kinds are not VPEC models",
+                })
+            }
+            ModelKind::VpecFull => VpecModel::full(&self.parasitics)?,
+            ModelKind::VpecLocalized => {
+                VpecModel::full(&self.parasitics)?.localized_from_full(&self.layout)
+            }
+            ModelKind::TVpecGeometric { nw, nl } => {
+                let full = VpecModel::full(&self.parasitics)?;
+                truncate_geometric(&full, &self.layout, nw, nl)?
+            }
+            ModelKind::TVpecNumerical { threshold } => {
+                let full = VpecModel::full(&self.parasitics)?;
+                truncate_numerical(&full, threshold)?
+            }
+            ModelKind::WVpecGeometric { b } => windowed_geometric(&self.parasitics, b)?,
+            ModelKind::WVpecNumerical { threshold } => {
+                windowed_numerical(&self.parasitics, threshold)?
+            }
+        };
+        Ok((model, t0.elapsed().as_secs_f64()))
+    }
+
+    /// Builds the netlist for any model kind, with statistics.
+    ///
+    /// # Errors
+    ///
+    /// Any model- or netlist-construction failure.
+    pub fn build(&self, kind: ModelKind) -> Result<BuiltModel, CoreError> {
+        let t0 = Instant::now();
+        let (circuit, sparse_factor) = match kind {
+            ModelKind::Peec => (
+                build_peec(&self.layout, &self.parasitics, &self.drive)?,
+                None,
+            ),
+            ModelKind::ShiftTruncated { r0 } => {
+                let sparsified =
+                    crate::baselines::shift_truncate(&self.parasitics, &self.layout, r0)?;
+                let full_nnz = crate::baselines::inductance_nnz(&self.parasitics);
+                let nnz = crate::baselines::inductance_nnz(&sparsified);
+                (
+                    build_peec(&self.layout, &sparsified, &self.drive)?,
+                    Some(nnz as f64 / full_nnz as f64),
+                )
+            }
+            _ => {
+                let (model, _) = self.vpec_model(kind)?;
+                let sf = model.sparse_factor();
+                (
+                    build_vpec(&self.layout, &self.parasitics, &model, &self.drive)?,
+                    Some(sf),
+                )
+            }
+        };
+        let build_seconds = t0.elapsed().as_secs_f64();
+        Ok(BuiltModel {
+            kind,
+            model: circuit,
+            build_seconds,
+            sparse_factor,
+        })
+    }
+}
+
+/// A built model netlist with its construction statistics.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// Which model this is.
+    pub kind: ModelKind,
+    /// The netlist and probe nodes.
+    pub model: ModelCircuit,
+    /// Seconds spent building (model construction + netlist lowering).
+    pub build_seconds: f64,
+    /// Sparse factor for VPEC models (`None` for PEEC).
+    pub sparse_factor: Option<f64>,
+}
+
+impl BuiltModel {
+    /// Runs a transient analysis, returning the result and wall-clock
+    /// seconds (the paper's "simulation time").
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn run_transient(
+        &self,
+        spec: &TransientSpec,
+    ) -> Result<(TransientResult, f64), CoreError> {
+        let t0 = Instant::now();
+        let res = run_transient(&self.model.circuit, spec)?;
+        Ok((res, t0.elapsed().as_secs_f64()))
+    }
+
+    /// Runs an AC sweep, returning the result and wall-clock seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn run_ac(&self, spec: &AcSpec) -> Result<(AcResult, f64), CoreError> {
+        let t0 = Instant::now();
+        let res = run_ac(&self.model.circuit, spec)?;
+        Ok((res, t0.elapsed().as_secs_f64()))
+    }
+
+    /// Far-end voltage waveform of net `k` from a transient result.
+    pub fn far_voltage(&self, res: &TransientResult, k: usize) -> Vec<f64> {
+        res.voltage(self.model.far_nodes[k])
+    }
+
+    /// SPICE netlist size in bytes — Fig. 8(b)'s model-size metric.
+    pub fn netlist_bytes(&self) -> usize {
+        netlist_size(&self.model.circuit, &self.kind.label())
+    }
+
+    /// Total circuit element count.
+    pub fn element_count(&self) -> usize {
+        self.model.circuit.element_count()
+    }
+}
+
+/// The paper's default transient window for bus crosstalk: 0.5 ns at
+/// 0.5 ps steps (the 10 ps edge is well resolved and victims settle).
+pub fn paper_transient_spec() -> TransientSpec {
+    TransientSpec::new(0.5e-9, 0.5e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpec_geometry::BusSpec;
+
+    fn experiment(bits: usize) -> Experiment {
+        Experiment::new(
+            BusSpec::new(bits).build(),
+            &ExtractionConfig::paper_default(),
+            DriveConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            ModelKind::Peec,
+            ModelKind::VpecFull,
+            ModelKind::VpecLocalized,
+            ModelKind::TVpecGeometric { nw: 8, nl: 2 },
+            ModelKind::TVpecNumerical { threshold: 1e-3 },
+            ModelKind::WVpecGeometric { b: 8 },
+            ModelKind::WVpecNumerical { threshold: 1.5e-4 },
+        ];
+        let labels: std::collections::BTreeSet<String> =
+            kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn build_and_run_all_kinds() {
+        let exp = experiment(4);
+        let spec = TransientSpec::new(0.1e-9, 1e-12);
+        for kind in [
+            ModelKind::Peec,
+            ModelKind::VpecFull,
+            ModelKind::VpecLocalized,
+            ModelKind::TVpecGeometric { nw: 2, nl: 1 },
+            ModelKind::TVpecNumerical { threshold: 0.05 },
+            ModelKind::WVpecGeometric { b: 2 },
+            ModelKind::WVpecNumerical { threshold: 1e-2 },
+        ] {
+            let built = exp.build(kind).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert!(built.build_seconds >= 0.0);
+            assert!(built.element_count() > 0);
+            assert!(built.netlist_bytes() > 0);
+            let (res, secs) = built.run_transient(&spec).unwrap();
+            assert!(secs >= 0.0);
+            let v = built.far_voltage(&res, 0);
+            assert!(
+                v.iter().all(|x| x.is_finite()),
+                "{kind:?} produced non-finite output"
+            );
+            if kind == ModelKind::Peec {
+                assert!(built.sparse_factor.is_none());
+            } else {
+                assert!(built.sparse_factor.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn vpec_model_rejects_peec_kind() {
+        let exp = experiment(2);
+        assert!(exp.vpec_model(ModelKind::Peec).is_err());
+    }
+
+    #[test]
+    fn sparse_models_have_smaller_factor() {
+        let exp = experiment(12);
+        let full = exp.build(ModelKind::VpecFull).unwrap();
+        let sparse = exp.build(ModelKind::WVpecGeometric { b: 4 }).unwrap();
+        assert!(sparse.sparse_factor.unwrap() < full.sparse_factor.unwrap());
+        assert!((full.sparse_factor.unwrap() - 1.0).abs() < 1e-12);
+        assert!(sparse.element_count() < full.element_count());
+    }
+
+    #[test]
+    fn ac_run_works() {
+        let exp = experiment(2);
+        let built = exp.build(ModelKind::VpecFull).unwrap();
+        let (res, _) = built
+            .run_ac(&AcSpec::points(vec![1e6, 1e9]))
+            .unwrap();
+        let mag = res.magnitude(built.model.far_nodes[0]);
+        assert_eq!(mag.len(), 2);
+        assert!(mag.iter().all(|m| m.is_finite()));
+    }
+}

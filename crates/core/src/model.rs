@@ -1,0 +1,441 @@
+//! The VPEC model: the circuit matrix `Ĝ`, effective resistances, and the
+//! passivity properties of Theorems 1–2.
+
+use crate::CoreError;
+use vpec_extract::Parasitics;
+use vpec_geometry::Layout;
+use vpec_numerics::{Cholesky, DenseMatrix, LuFactor};
+
+/// A VPEC model: the symmetric circuit matrix `Ĝ` stored sparsely
+/// (diagonal + strictly-lower off-diagonal entries) together with the
+/// filament lengths that scale it.
+///
+/// Physical reading (paper §II): the magnetic circuit has one node per
+/// filament; node `i` ties to vector-potential ground through
+/// `R̂ᵢ₀ = 1/(Ĝᵢᵢ + Σⱼ Ĝᵢⱼ)` and to node `j` through `R̂ᵢⱼ = −1/Ĝᵢⱼ`.
+/// Sparsification (tVPEC/wVPEC) deletes off-diagonal entries while keeping
+/// the diagonal, which Theorem 2 shows preserves passivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpecModel {
+    lengths: Vec<f64>,
+    /// `Ĝᵢᵢ` per filament.
+    g_diag: Vec<f64>,
+    /// `(i, j, Ĝᵢⱼ)` with `i < j`, typically negative entries.
+    g_off: Vec<(usize, usize, f64)>,
+}
+
+impl VpecModel {
+    /// Builds the **full VPEC model** by inverting the partial-inductance
+    /// matrix: `S = L⁻¹`, `Ĝ = Dₗ·S·Dₗ` (paper eq. (9)–(10), generalized
+    /// to per-filament lengths `Ĝᵢⱼ = lᵢ·lⱼ·Sᵢⱼ`).
+    ///
+    /// Uses Cholesky (the matrix is s.p.d. for physical geometry) and falls
+    /// back to LU if rounding pushed the extracted `L` off definiteness.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadInductanceMatrix`] if `L` is singular, and
+    /// [`CoreError::InvalidParameter`] for an empty model.
+    pub fn full(parasitics: &Parasitics) -> Result<Self, CoreError> {
+        let l = &parasitics.inductance;
+        let n = l.rows();
+        if n == 0 {
+            return Err(CoreError::InvalidParameter {
+                reason: "cannot build a VPEC model over zero filaments",
+            });
+        }
+        let s = match Cholesky::new(l) {
+            Ok(ch) => ch.inverse()?,
+            Err(_) => LuFactor::new(l)?.inverse()?,
+        };
+        Ok(Self::from_inverse(&s, &parasitics.lengths))
+    }
+
+    /// Builds a model from an (approximate) inverse `S` of `L` and the
+    /// filament lengths. Off-diagonal entries are symmetrized by averaging
+    /// (exact inverses are already symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn from_inverse(s: &DenseMatrix<f64>, lengths: &[f64]) -> Self {
+        let n = s.rows();
+        assert_eq!(n, s.cols(), "inverse must be square");
+        assert_eq!(n, lengths.len(), "lengths must match matrix dimension");
+        let mut g_diag = Vec::with_capacity(n);
+        let mut g_off = Vec::new();
+        for i in 0..n {
+            g_diag.push(lengths[i] * lengths[i] * s[(i, i)]);
+            for j in (i + 1)..n {
+                let v = lengths[i] * lengths[j] * 0.5 * (s[(i, j)] + s[(j, i)]);
+                if v != 0.0 {
+                    g_off.push((i, j, v));
+                }
+            }
+        }
+        VpecModel {
+            lengths: lengths.to_vec(),
+            g_diag,
+            g_off,
+        }
+    }
+
+    /// Builds a model directly from sparse `Ĝ` entries (used by the
+    /// windowed extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an off-diagonal index is out of range or not strictly
+    /// lower-triangular (`i < j`).
+    pub fn from_parts(
+        lengths: Vec<f64>,
+        g_diag: Vec<f64>,
+        g_off: Vec<(usize, usize, f64)>,
+    ) -> Self {
+        let n = lengths.len();
+        assert_eq!(g_diag.len(), n, "diagonal must match length vector");
+        for &(i, j, _) in &g_off {
+            assert!(i < j && j < n, "off-diagonal indices must satisfy i < j < n");
+        }
+        VpecModel {
+            lengths,
+            g_diag,
+            g_off,
+        }
+    }
+
+    /// Number of filaments.
+    pub fn len(&self) -> usize {
+        self.g_diag.len()
+    }
+
+    /// `true` for an empty model (cannot be constructed via [`full`]).
+    ///
+    /// [`full`]: VpecModel::full
+    pub fn is_empty(&self) -> bool {
+        self.g_diag.is_empty()
+    }
+
+    /// Filament lengths.
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+
+    /// Diagonal of `Ĝ`.
+    pub fn g_diag(&self) -> &[f64] {
+        &self.g_diag
+    }
+
+    /// Off-diagonal entries `(i, j, Ĝᵢⱼ)` with `i < j`.
+    pub fn g_off(&self) -> &[(usize, usize, f64)] {
+        &self.g_off
+    }
+
+    /// Stored circuit-element count: one ground resistance per filament
+    /// plus one coupling resistance per kept off-diagonal pair.
+    pub fn element_count(&self) -> usize {
+        self.len() + self.g_off.len()
+    }
+
+    /// The paper's **sparse factor**: this model's element count over the
+    /// full model's (`n + n(n−1)/2`).
+    pub fn sparse_factor(&self) -> f64 {
+        let n = self.len();
+        let full = n + n * (n - 1) / 2;
+        self.element_count() as f64 / full as f64
+    }
+
+    /// Effective coupling resistance `R̂ᵢⱼ = −1/Ĝᵢⱼ` for a kept pair, or
+    /// `None` if the pair was truncated.
+    pub fn coupling_resistance(&self, i: usize, j: usize) -> Option<f64> {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.g_off
+            .iter()
+            .find(|&&(x, y, _)| x == a && y == b)
+            .map(|&(_, _, g)| -1.0 / g)
+    }
+
+    /// Effective ground resistance `R̂ᵢ₀ = 1/(Ĝᵢᵢ + Σⱼ Ĝᵢⱼ)` over the
+    /// *kept* couplings — i.e. the ground conductance that makes the
+    /// magnetic node's total self-conductance equal `Ĝᵢᵢ`.
+    pub fn ground_resistance(&self, i: usize) -> f64 {
+        1.0 / self.ground_conductance(i)
+    }
+
+    /// Ground conductance `Ĝᵢᵢ + Σⱼ Ĝᵢⱼ` over kept couplings (positive by
+    /// strict diagonal dominance).
+    pub fn ground_conductance(&self, i: usize) -> f64 {
+        let mut g = self.g_diag[i];
+        for &(a, b, v) in &self.g_off {
+            if a == i || b == i {
+                g += v;
+            }
+        }
+        g
+    }
+
+    /// Keeps only off-diagonal entries for which `keep(i, j)` is true; the
+    /// diagonal is preserved, which is exactly the truncation Theorem 2
+    /// proves passivity-preserving.
+    #[must_use]
+    pub fn retain(&self, mut keep: impl FnMut(usize, usize) -> bool) -> VpecModel {
+        VpecModel {
+            lengths: self.lengths.clone(),
+            g_diag: self.g_diag.clone(),
+            g_off: self
+                .g_off
+                .iter()
+                .filter(|&&(i, j, _)| keep(i, j))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The **localized VPEC** model of Pacelli: keep only couplings
+    /// between geometrically adjacent filaments of the full model. As in
+    /// the paper's §II-C, this is derived from the accurate full model
+    /// ("we find an accurate full VPEC model and then only keep the
+    /// adjacently coupled resistances").
+    ///
+    /// Adjacency: parallel filaments at (approximately) the minimal
+    /// positive radial distance of either filament, or abutting collinear
+    /// segments of the same line.
+    #[must_use]
+    pub fn localized_from_full(&self, layout: &Layout) -> VpecModel {
+        let fils = layout.filaments();
+        let n = fils.len().min(self.len());
+        // Minimal positive radial distance per filament among parallel
+        // neighbours.
+        let mut min_d = vec![f64::INFINITY; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j || !fils[i].is_parallel_to(&fils[j]) {
+                    continue;
+                }
+                let d = fils[i].radial_distance_to(&fils[j]);
+                if d > 0.0 && d < min_d[i] {
+                    min_d[i] = d;
+                }
+            }
+        }
+        self.retain(|i, j| {
+            let (a, b) = (&fils[i], &fils[j]);
+            if !a.is_parallel_to(b) {
+                return false;
+            }
+            let d = a.radial_distance_to(b);
+            if d == 0.0 {
+                // Same line: adjacent iff the segments abut.
+                let (s1, e1) = a.span();
+                let (s2, e2) = b.span();
+                return (e1 - s2).abs() < 1e-12 || (e2 - s1).abs() < 1e-12;
+            }
+            d <= 1.01 * min_d[i].min(min_d[j])
+        })
+    }
+
+    /// Densifies `Ĝ` (for verification and small models).
+    pub fn g_matrix(&self) -> DenseMatrix<f64> {
+        let n = self.len();
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = self.g_diag[i];
+        }
+        for &(i, j, v) in &self.g_off {
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+        m
+    }
+
+    /// Quantitative passivity margin: the extreme eigenvalues of `Ĝ`.
+    /// `min > 0` certifies passivity with `min` as the distance to the
+    /// boundary; the condition number indicates how aggressively further
+    /// truncation could proceed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerics failures (cannot occur for a square `Ĝ`).
+    pub fn passivity_margin(
+        &self,
+    ) -> Result<vpec_numerics::eigen::EigenExtremes, CoreError> {
+        Ok(vpec_numerics::eigen::symmetric_extremes(
+            &self.g_matrix(),
+            2000,
+            1e-10,
+        )?)
+    }
+
+    /// Checks the properties proved in §III on this concrete model.
+    pub fn passivity_report(&self) -> PassivityReport {
+        let g = self.g_matrix();
+        let symmetric = g.is_symmetric(1e-9);
+        let sdd = g.is_strictly_diagonally_dominant();
+        let pd = Cholesky::new(&g).is_ok();
+        PassivityReport {
+            symmetric,
+            strictly_diag_dominant: sdd,
+            positive_definite: pd,
+        }
+    }
+}
+
+/// Outcome of the passivity checks (Theorems 1–2 evaluated numerically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassivityReport {
+    /// `Ĝ = Ĝᵀ`.
+    pub symmetric: bool,
+    /// `Ĝᵢᵢ > Σ_{j≠i} |Ĝᵢⱼ|` for every row (Theorem 2).
+    pub strictly_diag_dominant: bool,
+    /// Cholesky succeeds, i.e. `Ĝ ≻ 0` (Theorem 1).
+    pub positive_definite: bool,
+}
+
+impl PassivityReport {
+    /// The model is passive iff `Ĝ` is symmetric positive definite.
+    pub fn is_passive(&self) -> bool {
+        self.symmetric && self.positive_definite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpec_extract::{extract, ExtractionConfig};
+    use vpec_geometry::BusSpec;
+
+    fn bus_model(bits: usize) -> (VpecModel, Layout) {
+        let layout = BusSpec::new(bits).build();
+        let para = extract(&layout, &ExtractionConfig::paper_default());
+        (VpecModel::full(&para).unwrap(), layout)
+    }
+
+    #[test]
+    fn full_model_is_passive_and_dominant() {
+        let (m, _) = bus_model(12);
+        let rep = m.passivity_report();
+        assert!(rep.symmetric);
+        assert!(rep.positive_definite, "Theorem 1");
+        assert!(rep.strictly_diag_dominant, "Theorem 2");
+        assert!(rep.is_passive());
+    }
+
+    #[test]
+    fn g_equals_scaled_inverse() {
+        let layout = BusSpec::new(6).build();
+        let para = extract(&layout, &ExtractionConfig::paper_default());
+        let m = VpecModel::full(&para).unwrap();
+        let g = m.g_matrix();
+        // Ĝ·(Dₗ⁻¹·L·Dₗ⁻¹) should be the identity.
+        let n = g.rows();
+        let mut l_scaled = para.inductance.clone();
+        for i in 0..n {
+            for j in 0..n {
+                l_scaled[(i, j)] /= para.lengths[i] * para.lengths[j];
+            }
+        }
+        let prod = g.matmul(&l_scaled).unwrap();
+        assert!(
+            prod.max_abs_diff(&DenseMatrix::identity(n)).unwrap() < 1e-6,
+            "Ĝ must be the length-scaled inverse of L"
+        );
+    }
+
+    #[test]
+    fn effective_resistances_positive_for_bus() {
+        let (m, _) = bus_model(8);
+        for i in 0..m.len() {
+            assert!(m.ground_resistance(i) > 0.0, "R̂i0 must be positive");
+            for j in (i + 1)..m.len() {
+                let r = m.coupling_resistance(i, j).expect("full model keeps all");
+                assert!(r > 0.0, "R̂ij must be positive for a parallel bus");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_coupling_is_strongest() {
+        let (m, _) = bus_model(8);
+        // Coupling resistance grows with separation (coupling weakens).
+        let r01 = m.coupling_resistance(0, 1).unwrap();
+        let r02 = m.coupling_resistance(0, 2).unwrap();
+        let r05 = m.coupling_resistance(0, 5).unwrap();
+        assert!(r01 < r02 && r02 < r05);
+    }
+
+    #[test]
+    fn retain_preserves_diag_and_filters() {
+        let (m, _) = bus_model(6);
+        let t = m.retain(|i, j| j - i == 1);
+        assert_eq!(t.g_diag(), m.g_diag());
+        assert_eq!(t.g_off().len(), 5);
+        assert!(t.coupling_resistance(0, 5).is_none());
+        assert!(t.coupling_resistance(0, 1).is_some());
+        // Truncation preserves passivity (Theorem 2 corollary).
+        let rep = t.passivity_report();
+        assert!(rep.is_passive() && rep.strictly_diag_dominant);
+    }
+
+    #[test]
+    fn localized_keeps_only_adjacent() {
+        let (m, layout) = bus_model(6);
+        let loc = m.localized_from_full(&layout);
+        assert_eq!(loc.g_off().len(), 5, "5 adjacent pairs in a 6-bit bus");
+        for &(i, j, _) in loc.g_off() {
+            assert_eq!(j, i + 1);
+        }
+    }
+
+    #[test]
+    fn sparse_factor_and_element_count() {
+        let (m, _) = bus_model(6);
+        assert_eq!(m.element_count(), 6 + 15);
+        assert!((m.sparse_factor() - 1.0).abs() < 1e-12);
+        let t = m.retain(|i, j| j - i == 1);
+        assert!(t.sparse_factor() < 0.6);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let m = VpecModel::from_parts(vec![1.0, 1.0], vec![2.0, 2.0], vec![(0, 1, -0.5)]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert!((m.coupling_resistance(1, 0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "i < j")]
+    fn from_parts_rejects_bad_indices() {
+        VpecModel::from_parts(vec![1.0], vec![1.0], vec![(0, 0, 1.0)]);
+    }
+
+    #[test]
+    fn passivity_margin_is_quantitative() {
+        let (m, _) = bus_model(10);
+        let full = m.passivity_margin().unwrap();
+        assert!(full.min > 0.0, "full model margin {}", full.min);
+        assert!(full.max > full.min);
+        // Truncation shrinks off-diagonals: margin stays positive and the
+        // conditioning cannot collapse below 1.
+        let t = m.retain(|i, j| j - i == 1);
+        let tm = t.passivity_margin().unwrap();
+        assert!(tm.min > 0.0);
+        assert!(tm.condition() >= 1.0);
+        // Margin agrees with the binary Cholesky verdict.
+        assert_eq!(tm.min > 0.0, t.passivity_report().positive_definite);
+    }
+
+    #[test]
+    fn ground_conductance_adjusts_after_truncation() {
+        let (m, _) = bus_model(5);
+        let t = m.retain(|_, _| false); // drop all couplings
+        for i in 0..5 {
+            // With no couplings the ground conductance is the full diag.
+            assert!((t.ground_conductance(i) - t.g_diag()[i]).abs() < 1e-18);
+            // The full model's ground conductance is smaller (negative
+            // couplings subtract).
+            assert!(m.ground_conductance(i) < t.ground_conductance(i));
+            assert!(m.ground_conductance(i) > 0.0);
+        }
+    }
+}

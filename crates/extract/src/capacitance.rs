@@ -1,0 +1,162 @@
+//! 2.5-D capacitance model (the FastCap / lookup-table substitute).
+//!
+//! Ground capacitance uses the Sakurai–Tamaru empirical fit for a line over
+//! a ground plane,
+//!
+//! ```text
+//! C_g / (ε·l) = 1.15·(w/h) + 2.80·(t/h)^0.222
+//! ```
+//!
+//! and line-to-line coupling uses their companion fit,
+//!
+//! ```text
+//! C_c / (ε·l) = [0.03·(w/h) + 0.83·(t/h) − 0.07·(t/h)^0.222] · (s/h)^−1.34
+//! ```
+//!
+//! Only the *overlapping* length of two parallel lines contributes to the
+//! coupling term, and — as in the paper — coupling is only extracted for
+//! adjacent lines (capacitive coupling is short-range).
+
+use vpec_geometry::discretize::EPS0;
+use vpec_geometry::Filament;
+
+/// Ground capacitance of a filament at height `h` over the ground plane in
+/// a dielectric `eps_r`, in farads.
+///
+/// # Panics
+///
+/// Panics on non-physical inputs (`h ≤ 0`, `eps_r ≤ 0`, invalid filament).
+pub fn ground_capacitance(f: &Filament, h: f64, eps_r: f64) -> f64 {
+    assert!(f.is_valid(), "filament has non-physical dimensions: {f:?}");
+    assert!(h > 0.0, "ground height must be positive");
+    assert!(eps_r > 0.0, "eps_r must be positive");
+    let per_len = 1.15 * (f.width / h) + 2.80 * (f.thickness / h).powf(0.222);
+    EPS0 * eps_r * per_len * f.length
+}
+
+/// Length of the longitudinal overlap of two parallel filaments, zero for
+/// non-parallel or disjoint spans.
+pub fn overlap_length(a: &Filament, b: &Filament) -> f64 {
+    if !a.is_parallel_to(b) {
+        return 0.0;
+    }
+    let (a1, a2) = a.span();
+    let (b1, b2) = b.span();
+    (a2.min(b2) - a1.max(b1)).max(0.0)
+}
+
+/// Coupling capacitance between two parallel filaments, in farads.
+///
+/// Returns 0 for perpendicular filaments, disjoint spans, or overlapping
+/// cross-sections (same line). `s` is the edge-to-edge spacing derived from
+/// the radial centerline distance.
+///
+/// # Panics
+///
+/// Panics on non-physical inputs (see [`ground_capacitance`]).
+pub fn coupling_capacitance(a: &Filament, b: &Filament, h: f64, eps_r: f64) -> f64 {
+    assert!(a.is_valid() && b.is_valid(), "non-physical filament");
+    assert!(h > 0.0, "ground height must be positive");
+    assert!(eps_r > 0.0, "eps_r must be positive");
+    let lap = overlap_length(a, b);
+    if lap <= 0.0 {
+        return 0.0;
+    }
+    let d = a.radial_distance_to(b);
+    let s = d - 0.5 * (a.width + b.width);
+    if s <= 0.0 {
+        // Same line (collinear segments) or abutting wires: no lateral
+        // coupling capacitance.
+        return 0.0;
+    }
+    let t_h = (0.5 * (a.thickness + b.thickness)) / h;
+    let w_h = (0.5 * (a.width + b.width)) / h;
+    let per_len = (0.03 * w_h + 0.83 * t_h - 0.07 * t_h.powf(0.222)) * (s / h).powf(-1.34);
+    (EPS0 * eps_r * per_len * lap).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpec_geometry::{um, Axis};
+
+    fn wire(x: f64, y: f64, len: f64) -> Filament {
+        Filament::new([x, y, 0.0], Axis::X, len, um(1.0), um(1.0))
+    }
+
+    #[test]
+    fn ground_cap_of_paper_line_is_tens_of_ff() {
+        // 1000 µm line, 1 µm over ground, εr=2:
+        // per-length factor = 1.15 + 2.80 = 3.95 ⇒ C ≈ 70 fF.
+        let c = ground_capacitance(&wire(0.0, 0.0, um(1000.0)), um(1.0), 2.0);
+        assert!(c > 40e-15 && c < 120e-15, "got {c}");
+    }
+
+    #[test]
+    fn ground_cap_scales_with_length_and_eps() {
+        let c1 = ground_capacitance(&wire(0.0, 0.0, um(500.0)), um(1.0), 2.0);
+        let c2 = ground_capacitance(&wire(0.0, 0.0, um(1000.0)), um(1.0), 2.0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-20);
+        let c4 = ground_capacitance(&wire(0.0, 0.0, um(1000.0)), um(1.0), 4.0);
+        assert!((c4 - 2.0 * c2).abs() < 1e-20);
+    }
+
+    #[test]
+    fn coupling_cap_positive_for_adjacent_lines() {
+        let a = wire(0.0, 0.0, um(1000.0));
+        let b = wire(0.0, um(3.0), um(1000.0)); // 2 µm edge-to-edge
+        let c = coupling_capacitance(&a, &b, um(1.0), 2.0);
+        assert!(c > 1e-15 && c < 200e-15, "got {c}");
+    }
+
+    #[test]
+    fn coupling_decays_with_spacing() {
+        let a = wire(0.0, 0.0, um(1000.0));
+        let near = coupling_capacitance(&a, &wire(0.0, um(3.0), um(1000.0)), um(1.0), 2.0);
+        let far = coupling_capacitance(&a, &wire(0.0, um(6.0), um(1000.0)), um(1.0), 2.0);
+        assert!(near > 2.0 * far, "capacitive coupling is short-range");
+    }
+
+    #[test]
+    fn coupling_proportional_to_overlap() {
+        let a = wire(0.0, 0.0, um(1000.0));
+        let full = coupling_capacitance(&a, &wire(0.0, um(3.0), um(1000.0)), um(1.0), 2.0);
+        let half = coupling_capacitance(&a, &wire(um(500.0), um(3.0), um(1000.0)), um(1.0), 2.0);
+        assert!((half - 0.5 * full).abs() < 0.02 * full);
+    }
+
+    #[test]
+    fn no_coupling_without_overlap() {
+        let a = wire(0.0, 0.0, um(100.0));
+        let b = wire(um(200.0), um(3.0), um(100.0));
+        assert_eq!(coupling_capacitance(&a, &b, um(1.0), 2.0), 0.0);
+        assert_eq!(overlap_length(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn no_coupling_for_collinear_segments() {
+        let a = wire(0.0, 0.0, um(100.0));
+        let b = wire(um(100.0), 0.0, um(100.0));
+        assert_eq!(coupling_capacitance(&a, &b, um(1.0), 2.0), 0.0);
+    }
+
+    #[test]
+    fn no_coupling_perpendicular() {
+        let a = wire(0.0, 0.0, um(100.0));
+        let b = Filament::new([0.0, um(3.0), 0.0], Axis::Y, um(100.0), um(1.0), um(1.0));
+        assert_eq!(coupling_capacitance(&a, &b, um(1.0), 2.0), 0.0);
+    }
+
+    #[test]
+    fn overlap_computation() {
+        let a = wire(0.0, 0.0, um(100.0));
+        let b = wire(um(40.0), um(3.0), um(100.0));
+        assert!((overlap_length(&a, &b) - um(60.0)).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground height")]
+    fn bad_height_rejected() {
+        ground_capacitance(&wire(0.0, 0.0, um(10.0)), 0.0, 2.0);
+    }
+}

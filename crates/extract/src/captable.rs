@@ -1,0 +1,225 @@
+//! Lookup-table capacitance extraction — the mechanism the paper actually
+//! uses: "Capacitance is extracted by a lookup table \[18\] interpolated
+//! from FastCap".
+//!
+//! A [`CapTable`] tabulates per-unit-length ground and coupling
+//! capacitance over a `(width/height, spacing/height)` grid and answers
+//! queries by bilinear interpolation — exactly the 2.5-D methodology of
+//! Cong et al. \[18\]. The table here is seeded from this crate's analytic
+//! model (our FastCap substitute), but the API accepts any externally
+//! computed grid, so a table interpolated from a field solver drops in
+//! unchanged.
+
+use crate::capacitance::{coupling_capacitance, ground_capacitance};
+use vpec_geometry::{um, Axis, Filament};
+
+/// A bilinear-interpolation table of per-unit-length capacitances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapTable {
+    /// Sample points on the `w/h` axis (ascending).
+    w_over_h: Vec<f64>,
+    /// Sample points on the `s/h` axis (ascending).
+    s_over_h: Vec<f64>,
+    /// Ground capacitance per meter at `[wi][si]` (F/m). The ground value
+    /// is spacing-independent in the underlying model, but keeping the
+    /// grid square allows externally supplied tables to express
+    /// environment dependence.
+    cg: Vec<Vec<f64>>,
+    /// Coupling capacitance per meter at `[wi][si]` (F/m).
+    cc: Vec<Vec<f64>>,
+    /// Normalizing height (meters).
+    height: f64,
+    /// Relative permittivity baked into the entries.
+    eps_r: f64,
+}
+
+impl CapTable {
+    /// Builds a table by sampling the analytic model over the given grids
+    /// (`w/h` and `s/h` ratios, each ascending with at least two points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a grid has fewer than two points, is not strictly
+    /// ascending, or contains non-positive ratios.
+    pub fn from_analytic(
+        w_over_h: Vec<f64>,
+        s_over_h: Vec<f64>,
+        height: f64,
+        eps_r: f64,
+        thickness: f64,
+    ) -> Self {
+        let check = |g: &[f64], name: &str| {
+            assert!(g.len() >= 2, "{name} grid needs at least two points");
+            assert!(
+                g.windows(2).all(|w| w[1] > w[0]) && g[0] > 0.0,
+                "{name} grid must be strictly ascending and positive"
+            );
+        };
+        check(&w_over_h, "w/h");
+        check(&s_over_h, "s/h");
+        let unit = um(1000.0); // 1 mm sampling length, normalized out below
+        let mut cg = Vec::with_capacity(w_over_h.len());
+        let mut cc = Vec::with_capacity(w_over_h.len());
+        for &wh in &w_over_h {
+            let w = wh * height;
+            let a = Filament::new([0.0, 0.0, 0.0], Axis::X, unit, w, thickness);
+            let g_per_m = ground_capacitance(&a, height, eps_r) / unit;
+            let mut row_g = Vec::with_capacity(s_over_h.len());
+            let mut row_c = Vec::with_capacity(s_over_h.len());
+            for &sh in &s_over_h {
+                let s = sh * height;
+                let b = Filament::new([0.0, w + s, 0.0], Axis::X, unit, w, thickness);
+                row_g.push(g_per_m);
+                row_c.push(coupling_capacitance(&a, &b, height, eps_r) / unit);
+            }
+            cg.push(row_g);
+            cc.push(row_c);
+        }
+        CapTable {
+            w_over_h,
+            s_over_h,
+            cg,
+            cc,
+            height,
+            eps_r,
+        }
+    }
+
+    /// The paper-setting table: εᵣ = 2, h = 1 µm, t = 1 µm, ratios
+    /// spanning the bus geometries of the evaluation.
+    pub fn paper_default() -> Self {
+        CapTable::from_analytic(
+            vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0],
+            vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+            um(1.0),
+            2.0,
+            um(1.0),
+        )
+    }
+
+    fn bracket(grid: &[f64], x: f64) -> (usize, f64) {
+        // Clamp outside the grid; otherwise find the cell and the local
+        // coordinate in [0, 1], measured on a log axis (the capacitance
+        // fits are power laws in the geometry ratios, so log–log bilinear
+        // interpolation is near-exact between samples).
+        if x <= grid[0] {
+            return (0, 0.0);
+        }
+        if x >= grid[grid.len() - 1] {
+            return (grid.len() - 2, 1.0);
+        }
+        let hi = grid.partition_point(|&g| g <= x);
+        let lo = hi - 1;
+        let t = (x.ln() - grid[lo].ln()) / (grid[hi].ln() - grid[lo].ln());
+        (lo, t)
+    }
+
+    fn interp(&self, table: &[Vec<f64>], wh: f64, sh: f64) -> f64 {
+        let (wi, tw) = Self::bracket(&self.w_over_h, wh);
+        let (si, ts) = Self::bracket(&self.s_over_h, sh);
+        let floor = 1e-300f64;
+        let f00 = table[wi][si].max(floor).ln();
+        let f01 = table[wi][si + 1].max(floor).ln();
+        let f10 = table[wi + 1][si].max(floor).ln();
+        let f11 = table[wi + 1][si + 1].max(floor).ln();
+        let v = f00 * (1.0 - tw) * (1.0 - ts)
+            + f10 * tw * (1.0 - ts)
+            + f01 * (1.0 - tw) * ts
+            + f11 * tw * ts;
+        v.exp()
+    }
+
+    /// Interpolated ground capacitance per meter for a wire of width `w`.
+    pub fn ground_per_meter(&self, w: f64) -> f64 {
+        self.interp(&self.cg, w / self.height, self.s_over_h[0])
+    }
+
+    /// Interpolated coupling capacitance per meter for wires of width `w`
+    /// at edge-to-edge spacing `s`.
+    pub fn coupling_per_meter(&self, w: f64, s: f64) -> f64 {
+        self.interp(&self.cc, w / self.height, s / self.height)
+    }
+
+    /// The table's normalizing height (meters).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// The relative permittivity baked into the table.
+    pub fn eps_r(&self) -> f64 {
+        self.eps_r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_analytic_at_grid_points() {
+        let t = CapTable::paper_default();
+        let h = um(1.0);
+        // On-grid query: w/h = 1, s/h = 2 — must reproduce the analytic
+        // model exactly (up to the per-length normalization).
+        let w = h;
+        let s = 2.0 * h;
+        let unit = um(1000.0);
+        let a = Filament::new([0.0; 3], Axis::X, unit, w, um(1.0));
+        let b = Filament::new([0.0, w + s, 0.0], Axis::X, unit, w, um(1.0));
+        let exact_cc = coupling_capacitance(&a, &b, h, 2.0) / unit;
+        let exact_cg = ground_capacitance(&a, h, 2.0) / unit;
+        assert!((t.coupling_per_meter(w, s) - exact_cc).abs() < 1e-6 * exact_cc);
+        assert!((t.ground_per_meter(w) - exact_cg).abs() < 1e-6 * exact_cg);
+    }
+
+    #[test]
+    fn interpolation_between_grid_points_is_close() {
+        let t = CapTable::paper_default();
+        let h = um(1.0);
+        // Off-grid: w/h = 1.37, s/h = 2.6.
+        let w = 1.37 * h;
+        let s = 2.6 * h;
+        let unit = um(1000.0);
+        let a = Filament::new([0.0; 3], Axis::X, unit, w, um(1.0));
+        let b = Filament::new([0.0, w + s, 0.0], Axis::X, unit, w, um(1.0));
+        let exact = coupling_capacitance(&a, &b, h, 2.0) / unit;
+        let interp = t.coupling_per_meter(w, s);
+        assert!(
+            (interp - exact).abs() < 0.08 * exact,
+            "bilinear table within a few % off-grid: {interp} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn clamps_outside_the_grid() {
+        let t = CapTable::paper_default();
+        let h = um(1.0);
+        // Far outside: behaves like the edge value, never panics/NaNs.
+        let tiny = t.coupling_per_meter(0.01 * h, 100.0 * h);
+        assert!(tiny.is_finite() && tiny >= 0.0);
+        let big = t.ground_per_meter(100.0 * h);
+        assert!(big.is_finite() && big > 0.0);
+    }
+
+    #[test]
+    fn monotone_in_the_physical_directions() {
+        let t = CapTable::paper_default();
+        let h = um(1.0);
+        // Wider wire ⇒ more ground capacitance.
+        assert!(t.ground_per_meter(2.0 * h) > t.ground_per_meter(0.5 * h));
+        // Larger spacing ⇒ less coupling.
+        assert!(t.coupling_per_meter(h, h) > t.coupling_per_meter(h, 4.0 * h));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn short_grid_rejected() {
+        CapTable::from_analytic(vec![1.0], vec![1.0, 2.0], um(1.0), 2.0, um(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_grid_rejected() {
+        CapTable::from_analytic(vec![2.0, 1.0], vec![1.0, 2.0], um(1.0), 2.0, um(1.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Extraction configuration.
+
+use vpec_geometry::{um, SubstrateSpec, GHZ};
+
+/// Material, dielectric and frequency settings for extraction.
+///
+/// The defaults reproduce the paper's experiment setting (§II-C): copper
+/// (ρ = 1.7 × 10⁻⁸ Ωm), low-k dielectric (εᵣ = 2), 10 GHz maximum
+/// operating frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionConfig {
+    /// Conductor resistivity in Ωm.
+    pub resistivity: f64,
+    /// Relative permittivity of the dielectric.
+    pub eps_r: f64,
+    /// Height of the conductor layer above the ground plane, in meters
+    /// (used by the capacitance model).
+    pub ground_height: f64,
+    /// Maximum operating frequency in hertz (used by the optional
+    /// skin-effect resistance correction).
+    pub frequency: f64,
+    /// Apply the skin-depth correction to series resistance.
+    pub skin_effect: bool,
+    /// Maximum radial distance at which a coupling capacitance is
+    /// extracted. The paper treats capacitive coupling as a short-range
+    /// effect and keeps adjacent couplings only.
+    pub cap_coupling_range: f64,
+    /// Lossy substrate below the conductors, if any; its eddy-current loss
+    /// is lumped into the segment series resistance.
+    pub substrate: Option<SubstrateSpec>,
+}
+
+impl ExtractionConfig {
+    /// The paper's setting: copper, εᵣ = 2, 1 µm above ground, 10 GHz, no
+    /// skin correction (each segment is one filament at these dimensions),
+    /// adjacent-only capacitive coupling (4 µm range for the 3 µm-pitch
+    /// bus).
+    pub fn paper_default() -> Self {
+        ExtractionConfig {
+            resistivity: 1.7e-8,
+            eps_r: 2.0,
+            ground_height: um(1.0),
+            frequency: 10.0 * GHZ,
+            skin_effect: false,
+            cap_coupling_range: um(4.0),
+            substrate: None,
+        }
+    }
+
+    /// Attaches a lossy substrate (spiral-inductor experiments).
+    #[must_use]
+    pub fn with_substrate(mut self, s: SubstrateSpec) -> Self {
+        self.substrate = Some(s);
+        self
+    }
+
+    /// Enables the skin-effect resistance correction.
+    #[must_use]
+    pub fn with_skin_effect(mut self) -> Self {
+        self.skin_effect = true;
+        self
+    }
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ExtractionConfig::paper_default();
+        assert_eq!(c.resistivity, 1.7e-8);
+        assert_eq!(c.eps_r, 2.0);
+        assert_eq!(c.frequency, 1.0e10);
+        assert!(!c.skin_effect);
+        assert!(c.substrate.is_none());
+        assert_eq!(ExtractionConfig::default(), c);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ExtractionConfig::paper_default()
+            .with_skin_effect()
+            .with_substrate(SubstrateSpec::heavily_doped());
+        assert!(c.skin_effect);
+        assert!(c.substrate.is_some());
+    }
+}

@@ -1,0 +1,207 @@
+//! The extraction pipeline: [`Layout`] → [`Parasitics`].
+
+use crate::capacitance::{coupling_capacitance, ground_capacitance};
+use crate::inductance::partial_inductance_matrix;
+use crate::resistance::{ac_resistance, dc_resistance, substrate_loss_resistance};
+use crate::ExtractionConfig;
+use vpec_geometry::Layout;
+use vpec_numerics::DenseMatrix;
+
+/// Extracted RLCM parasitics of a layout, indexed by filament in
+/// [`Layout::filaments`] order.
+///
+/// This is the input to both the PEEC model builder (which stamps `L`
+/// directly as coupled inductors) and the VPEC builders (which invert it).
+#[derive(Debug, Clone)]
+pub struct Parasitics {
+    /// Dense partial-inductance matrix `L` (henries), symmetric, with
+    /// direction signs applied to mutual terms.
+    pub inductance: DenseMatrix<f64>,
+    /// Per-filament series resistance (ohms).
+    pub resistance: Vec<f64>,
+    /// Per-filament capacitance to ground (farads).
+    pub cap_ground: Vec<f64>,
+    /// Adjacent-pair coupling capacitances `(i, j, farads)` with `i < j`.
+    pub cap_coupling: Vec<(usize, usize, f64)>,
+    /// Per-filament length (meters) — the `l` of `Î = l·I`, `V̂ = V/l`;
+    /// the VPEC scaling is `Ĝ = Dₗ·L⁻¹·Dₗ` with `Dₗ = diag(lengths)`.
+    pub lengths: Vec<f64>,
+}
+
+impl Parasitics {
+    /// Number of filaments.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// `true` if the layout had no filaments.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Total capacitance (ground + coupling) attached to filament `i`.
+    pub fn total_cap_at(&self, i: usize) -> f64 {
+        let mut c = self.cap_ground[i];
+        for &(a, b, v) in &self.cap_coupling {
+            if a == i || b == i {
+                c += v;
+            }
+        }
+        c
+    }
+}
+
+/// Extracts RLCM parasitics for every filament of `layout` under `config`.
+///
+/// Follows the paper's recipe: full (dense) inductive coupling between all
+/// parallel filament pairs, capacitive coupling between adjacent pairs
+/// only (within `config.cap_coupling_range`), per-filament series
+/// resistance with optional skin correction, and lossy-substrate eddy loss
+/// lumped into the series resistance when a substrate is configured.
+pub fn extract(layout: &Layout, config: &ExtractionConfig) -> Parasitics {
+    let fils = layout.filaments();
+    let n = fils.len();
+
+    let inductance = partial_inductance_matrix(fils);
+
+    let mut resistance = Vec::with_capacity(n);
+    let mut cap_ground = Vec::with_capacity(n);
+    let mut lengths = Vec::with_capacity(n);
+    for f in fils {
+        let mut r = if config.skin_effect {
+            ac_resistance(f, config.resistivity, config.frequency)
+        } else {
+            dc_resistance(f, config.resistivity)
+        };
+        if let Some(sub) = &config.substrate {
+            r += substrate_loss_resistance(f, sub, config.frequency);
+        }
+        resistance.push(r);
+        cap_ground.push(ground_capacitance(f, config.ground_height, config.eps_r));
+        lengths.push(f.length);
+    }
+
+    let mut cap_coupling = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &fils[i];
+            let b = &fils[j];
+            if !a.is_parallel_to(b) {
+                continue;
+            }
+            if a.radial_distance_to(b) > config.cap_coupling_range {
+                continue;
+            }
+            let c = coupling_capacitance(a, b, config.ground_height, config.eps_r);
+            if c > 0.0 {
+                cap_coupling.push((i, j, c));
+            }
+        }
+    }
+
+    Parasitics {
+        inductance,
+        resistance,
+        cap_ground,
+        cap_coupling,
+        lengths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpec_geometry::{um, BusSpec, SpiralSpec};
+
+    #[test]
+    fn five_bit_bus_extraction_shapes() {
+        let layout = BusSpec::new(5).build();
+        let p = extract(&layout, &ExtractionConfig::paper_default());
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.inductance.rows(), 5);
+        assert_eq!(p.resistance.len(), 5);
+        // 17 Ω per line.
+        assert!((p.resistance[0] - 17.0).abs() < 1e-9);
+        // Capacitive coupling only between the 4 adjacent pairs.
+        assert_eq!(p.cap_coupling.len(), 4);
+        for &(i, j, c) in &p.cap_coupling {
+            assert_eq!(j, i + 1);
+            assert!(c > 0.0);
+        }
+        // Inductive coupling is dense: all 10 pairs nonzero.
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    assert!(p.inductance[(i, j)] > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_range_limits_cap_pairs() {
+        let layout = BusSpec::new(5).build();
+        let mut cfg = ExtractionConfig::paper_default();
+        cfg.cap_coupling_range = um(7.0); // includes next-adjacent at 6 µm
+        let p = extract(&layout, &cfg);
+        assert_eq!(p.cap_coupling.len(), 4 + 3);
+    }
+
+    #[test]
+    fn substrate_increases_resistance() {
+        let spiral = SpiralSpec::paper_three_turn();
+        let layout = spiral.build();
+        let base = extract(&layout, &ExtractionConfig::paper_default());
+        let lossy = extract(
+            &layout,
+            &ExtractionConfig::paper_default()
+                .with_substrate(spiral.substrate_spec().expect("paper spiral has substrate")),
+        );
+        for (a, b) in base.resistance.iter().zip(lossy.resistance.iter()) {
+            assert!(b > a, "substrate loss must add series resistance");
+        }
+    }
+
+    #[test]
+    fn spiral_has_negative_mutual_terms() {
+        let layout = SpiralSpec::paper_three_turn().build();
+        let p = extract(&layout, &ExtractionConfig::paper_default());
+        let l = &p.inductance;
+        let mut negatives = 0;
+        for i in 0..l.rows() {
+            for j in 0..i {
+                if l[(i, j)] < 0.0 {
+                    negatives += 1;
+                }
+            }
+        }
+        assert!(negatives > 0, "antiparallel spiral sides must couple negatively");
+        // Diagonal still positive.
+        for i in 0..l.rows() {
+            assert!(l[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn total_cap_includes_coupling() {
+        let layout = BusSpec::new(3).build();
+        let p = extract(&layout, &ExtractionConfig::paper_default());
+        // Middle bit has two neighbours.
+        assert!(p.total_cap_at(1) > p.total_cap_at(0));
+        assert!(p.total_cap_at(1) > p.cap_ground[1]);
+    }
+
+    #[test]
+    fn multisegment_bus_couples_capacitively_sidewise_only() {
+        let layout = BusSpec::new(2).segments(4).build();
+        let p = extract(&layout, &ExtractionConfig::paper_default());
+        // Segments on the same line are collinear: no cap coupling there;
+        // only side-by-side overlapping pairs couple (4 per line pair).
+        assert_eq!(p.cap_coupling.len(), 4);
+        for &(i, j, _) in &p.cap_coupling {
+            // One from each line: indices 0..4 are line 0, 4..8 line 1.
+            assert!(i < 4 && j >= 4);
+        }
+    }
+}

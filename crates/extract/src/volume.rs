@@ -1,0 +1,165 @@
+//! Volume filament decomposition (paper §III: "When the frequency is
+//! beyond 10 GHz, the volume filament \[5\] or conduction mode based
+//! decomposition can be applied to consider the skin and proximity
+//! effects").
+//!
+//! A conductor segment is split into an `nw × nt` grid of sub-filaments
+//! over its cross section; each sub-filament carries a uniform current
+//! density, and the frequency-dependent current *distribution* across the
+//! bundle emerges from solving the coupled impedance system
+//! ([`crate::impedance`]). This is exactly FastHenry's discretization.
+
+use vpec_geometry::discretize::skin_depth;
+use vpec_geometry::Filament;
+
+/// Splits a filament into an `nw × nt` bundle of parallel sub-filaments
+/// tiling its cross section (same axis, length and current direction).
+///
+/// The perpendicular in-plane axis receives the `nw` width subdivisions
+/// and the z axis the `nt` thickness subdivisions; sub-filament centers
+/// tile the original cross-section symmetrically about the original
+/// centerline.
+///
+/// # Panics
+///
+/// Panics if `nw` or `nt` is zero or the filament is non-physical.
+pub fn decompose(f: &Filament, nw: usize, nt: usize) -> Vec<Filament> {
+    assert!(f.is_valid(), "filament has non-physical dimensions: {f:?}");
+    assert!(nw > 0 && nt > 0, "subdivision counts must be at least 1");
+    let axis = f.axis.index();
+    // The in-plane perpendicular axis: x→y, y→x, z→x (width direction).
+    let width_axis = match axis {
+        0 => 1,
+        1 => 0,
+        _ => 0,
+    };
+    let sub_w = f.width / nw as f64;
+    let sub_t = f.thickness / nt as f64;
+    let mut out = Vec::with_capacity(nw * nt);
+    for iw in 0..nw {
+        for it in 0..nt {
+            let dw = (iw as f64 + 0.5) * sub_w - f.width / 2.0;
+            let dt = (it as f64 + 0.5) * sub_t - f.thickness / 2.0;
+            let mut origin = f.origin;
+            origin[width_axis] += dw;
+            origin[2] += dt;
+            out.push(
+                Filament::new(origin, f.axis, f.length, sub_w, sub_t)
+                    .with_direction(f.direction),
+            );
+        }
+    }
+    out
+}
+
+/// Subdivision counts suggested by the skin-depth rule at `frequency`:
+/// enough sub-filaments that each is no larger than one skin depth in
+/// either cross-section dimension (capped at `max_per_side` to bound the
+/// system size).
+pub fn auto_subdivisions(
+    f: &Filament,
+    resistivity: f64,
+    frequency: f64,
+    max_per_side: usize,
+) -> (usize, usize) {
+    let delta = skin_depth(resistivity, frequency);
+    let nw = ((f.width / delta).ceil() as usize).clamp(1, max_per_side);
+    let nt = ((f.thickness / delta).ceil() as usize).clamp(1, max_per_side);
+    (nw, nt)
+}
+
+/// Decomposes with the skin-depth rule directly.
+pub fn auto_decompose(
+    f: &Filament,
+    resistivity: f64,
+    frequency: f64,
+    max_per_side: usize,
+) -> Vec<Filament> {
+    let (nw, nt) = auto_subdivisions(f, resistivity, frequency, max_per_side);
+    decompose(f, nw, nt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpec_geometry::{um, Axis, GHZ};
+
+    const RHO_CU: f64 = 1.7e-8;
+
+    fn thick_wire() -> Filament {
+        Filament::new([0.0; 3], Axis::X, um(500.0), um(4.0), um(2.0))
+    }
+
+    #[test]
+    fn count_and_area_preserved() {
+        let f = thick_wire();
+        let subs = decompose(&f, 4, 2);
+        assert_eq!(subs.len(), 8);
+        let total_area: f64 = subs.iter().map(|s| s.cross_section()).sum();
+        assert!((total_area - f.cross_section()).abs() < 1e-24);
+        for s in &subs {
+            assert_eq!(s.length, f.length);
+            assert_eq!(s.axis, f.axis);
+            assert_eq!(s.direction, f.direction);
+        }
+    }
+
+    #[test]
+    fn centers_tile_the_cross_section() {
+        let f = thick_wire();
+        let subs = decompose(&f, 2, 2);
+        // y-offsets at ±1 µm, z-offsets at ±0.5 µm around the centerline.
+        let mut ys: Vec<f64> = subs.iter().map(|s| s.origin[1] * 1e6).collect();
+        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ys[0] + 1.0).abs() < 1e-9 && (ys[3] - 1.0).abs() < 1e-9);
+        let mut zs: Vec<f64> = subs.iter().map(|s| s.origin[2] * 1e6).collect();
+        zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((zs[0] + 0.5).abs() < 1e-9 && (zs[3] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_decomposition_is_identity() {
+        let f = thick_wire();
+        let subs = decompose(&f, 1, 1);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0], f);
+    }
+
+    #[test]
+    fn y_axis_filament_subdivides_along_x() {
+        let f = Filament::new([0.0; 3], Axis::Y, um(100.0), um(2.0), um(1.0));
+        let subs = decompose(&f, 2, 1);
+        assert!(subs.iter().any(|s| s.origin[0] < 0.0));
+        assert!(subs.iter().any(|s| s.origin[0] > 0.0));
+        // y (the filament axis) stays put.
+        assert!(subs.iter().all(|s| s.origin[1] == 0.0));
+    }
+
+    #[test]
+    fn auto_rule_tracks_skin_depth() {
+        let f = thick_wire(); // 4 µm × 2 µm
+        // δ(10 GHz) ≈ 0.66 µm ⇒ 4/0.66 ≈ 7 width slices, 2/0.66 ≈ 4.
+        let (nw, nt) = auto_subdivisions(&f, RHO_CU, 10.0 * GHZ, 16);
+        assert!((6..=8).contains(&nw), "nw = {nw}");
+        assert!((3..=5).contains(&nt), "nt = {nt}");
+        // At 1 MHz the skin depth is ~65 µm: no subdivision needed.
+        let (nw_lo, nt_lo) = auto_subdivisions(&f, RHO_CU, 1.0e6, 16);
+        assert_eq!((nw_lo, nt_lo), (1, 1));
+        // The cap is honoured.
+        let (nw_cap, _) = auto_subdivisions(&f, RHO_CU, 1.0e12, 4);
+        assert_eq!(nw_cap, 4);
+    }
+
+    #[test]
+    fn auto_decompose_wires_through() {
+        let f = thick_wire();
+        let subs = auto_decompose(&f, RHO_CU, 10.0 * GHZ, 8);
+        assert!(subs.len() > 8, "10 GHz must split a 4×2 µm wire");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_subdivision_rejected() {
+        decompose(&thick_wire(), 0, 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Rectilinear filaments — the atomic unit of PEEC/VPEC extraction.
+//!
+//! As in FastHenry (and §II-A of the paper), conductors are divided into
+//! rectilinear filaments with constant current density over the cross
+//! section. Below the maximum frequency considered here each wire segment is
+//! modeled by a single filament spanning the full cross section.
+
+use std::fmt;
+
+/// A coordinate axis. Filaments are Manhattan (axis-aligned), which covers
+/// both evaluated structure families (buses and rectangular spirals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The x direction.
+    X,
+    /// The y direction.
+    Y,
+    /// The z direction.
+    Z,
+}
+
+impl Axis {
+    /// Index of this axis into an `[x, y, z]` triple.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// All three axes.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// An axis-aligned rectangular filament carrying a uniform current.
+///
+/// `origin` is the start of the centerline; the filament spans `length`
+/// along `axis`. `direction` is the sign of positive current flow relative
+/// to the axis (+1 or −1) and determines the sign of mutual inductances —
+/// antiparallel spiral sides couple negatively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Filament {
+    /// Start of the centerline, `[x, y, z]` in meters.
+    pub origin: [f64; 3],
+    /// Axis the filament runs along.
+    pub axis: Axis,
+    /// Length along the axis, in meters (must be positive).
+    pub length: f64,
+    /// Cross-section width, in meters.
+    pub width: f64,
+    /// Cross-section thickness, in meters.
+    pub thickness: f64,
+    /// Current direction along the axis: `+1.0` or `-1.0`.
+    pub direction: f64,
+}
+
+impl Filament {
+    /// Creates a filament running in the positive direction of `axis`.
+    pub fn new(origin: [f64; 3], axis: Axis, length: f64, width: f64, thickness: f64) -> Self {
+        Filament {
+            origin,
+            axis,
+            length,
+            width,
+            thickness,
+            direction: 1.0,
+        }
+    }
+
+    /// Returns the same filament with the given current direction sign.
+    #[must_use]
+    pub fn with_direction(mut self, dir: f64) -> Self {
+        self.direction = if dir < 0.0 { -1.0 } else { 1.0 };
+        self
+    }
+
+    /// `true` if dimensions are physical (all strictly positive and finite).
+    pub fn is_valid(&self) -> bool {
+        self.length > 0.0
+            && self.width > 0.0
+            && self.thickness > 0.0
+            && self.length.is_finite()
+            && self.width.is_finite()
+            && self.thickness.is_finite()
+            && self.origin.iter().all(|c| c.is_finite())
+    }
+
+    /// Interval `[start, end]` occupied along the filament's own axis.
+    pub fn span(&self) -> (f64, f64) {
+        let s = self.origin[self.axis.index()];
+        (s, s + self.length)
+    }
+
+    /// Centerline midpoint.
+    pub fn center(&self) -> [f64; 3] {
+        let mut c = self.origin;
+        c[self.axis.index()] += self.length / 2.0;
+        c
+    }
+
+    /// `true` if the two filaments run along the same axis.
+    #[inline]
+    pub fn is_parallel_to(&self, other: &Filament) -> bool {
+        self.axis == other.axis
+    }
+
+    /// Center-to-center distance in the plane perpendicular to this
+    /// filament's axis. Only meaningful for parallel filaments.
+    pub fn radial_distance_to(&self, other: &Filament) -> f64 {
+        let a = self.axis.index();
+        let mut d2 = 0.0;
+        for k in 0..3 {
+            if k != a {
+                let diff = self.origin[k] - other.origin[k];
+                d2 += diff * diff;
+            }
+        }
+        d2.sqrt()
+    }
+
+    /// Cross-section area.
+    #[inline]
+    pub fn cross_section(&self) -> f64 {
+        self.width * self.thickness
+    }
+
+    /// Geometric-mean-distance of the rectangular cross section from itself,
+    /// `≈ 0.2235·(w + t)` (Grover). Used as the effective radial distance
+    /// for collinear/overlapping filament pairs where the centerline
+    /// distance degenerates to zero.
+    #[inline]
+    pub fn self_gmd(&self) -> f64 {
+        0.2235 * (self.width + self.thickness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fil(x: f64, y: f64) -> Filament {
+        Filament::new([x, y, 0.0], Axis::X, 10e-6, 1e-6, 1e-6)
+    }
+
+    #[test]
+    fn axis_index_and_display() {
+        assert_eq!(Axis::X.index(), 0);
+        assert_eq!(Axis::Y.index(), 1);
+        assert_eq!(Axis::Z.index(), 2);
+        assert_eq!(Axis::Y.to_string(), "y");
+        assert_eq!(Axis::ALL.len(), 3);
+    }
+
+    #[test]
+    fn span_and_center() {
+        let f = fil(2e-6, 0.0);
+        let (s, e) = f.span();
+        assert_eq!(s, 2e-6);
+        assert_eq!(e, 12e-6);
+        assert!((f.center()[0] - 7e-6).abs() < 1e-18);
+        assert_eq!(f.center()[1], 0.0);
+    }
+
+    #[test]
+    fn radial_distance_ignores_axis_component() {
+        let a = fil(0.0, 0.0);
+        let b = fil(5e-6, 3e-6); // offset along x must not count
+        assert!((a.radial_distance_to(&b) - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn direction_sign_normalized() {
+        let f = fil(0.0, 0.0).with_direction(-3.5);
+        assert_eq!(f.direction, -1.0);
+        let f = fil(0.0, 0.0).with_direction(0.0);
+        assert_eq!(f.direction, 1.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(fil(0.0, 0.0).is_valid());
+        let mut bad = fil(0.0, 0.0);
+        bad.length = 0.0;
+        assert!(!bad.is_valid());
+        bad = fil(0.0, 0.0);
+        bad.width = -1.0;
+        assert!(!bad.is_valid());
+        bad = fil(0.0, 0.0);
+        bad.origin[2] = f64::NAN;
+        assert!(!bad.is_valid());
+    }
+
+    #[test]
+    fn parallelism() {
+        let a = fil(0.0, 0.0);
+        let mut b = fil(0.0, 1e-6);
+        assert!(a.is_parallel_to(&b));
+        b.axis = Axis::Y;
+        assert!(!a.is_parallel_to(&b));
+    }
+
+    #[test]
+    fn gmd_scale() {
+        let f = fil(0.0, 0.0);
+        assert!((f.self_gmd() - 0.2235 * 2e-6).abs() < 1e-18);
+        assert_eq!(f.cross_section(), 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Unit helpers. All geometry is stored in SI base units (meters, hertz,
+//! ohm-meters); these helpers make specs readable.
+
+/// One gigahertz, in hertz.
+pub const GHZ: f64 = 1.0e9;
+
+/// One megahertz, in hertz.
+pub const MHZ: f64 = 1.0e6;
+
+/// Micrometers to meters.
+///
+/// ```
+/// assert_eq!(vpec_geometry::um(1000.0), 1.0e-3);
+/// ```
+#[inline]
+pub fn um(x: f64) -> f64 {
+    x * 1.0e-6
+}
+
+/// Millimeters to meters.
+#[inline]
+pub fn mm(x: f64) -> f64 {
+    x * 1.0e-3
+}
+
+/// Nanometers to meters.
+#[inline]
+pub fn nm(x: f64) -> f64 {
+    x * 1.0e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(um(1.0), 1e-6);
+        assert_eq!(mm(2.0), 2e-3);
+        assert_eq!(nm(5.0), 5e-9);
+        assert_eq!(GHZ, 1e9);
+        assert_eq!(MHZ, 1e6);
+        assert!((um(1000.0) - mm(1.0)).abs() < 1e-18);
+    }
+}

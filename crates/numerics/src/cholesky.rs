@@ -1,0 +1,239 @@
+//! Dense Cholesky factorization for symmetric positive-definite matrices.
+//!
+//! Plays two roles in the VPEC flow:
+//!
+//! * **Extraction** — the partial-inductance matrix `L` and the coupling-
+//!   window submatrices `L⁽ᵐ⁾` are s.p.d., so Cholesky is the natural (and
+//!   2× cheaper) factorization for the inversion and windowed solves.
+//! * **Passivity verification** — a matrix is positive definite iff its
+//!   Cholesky factorization succeeds, which is exactly how the passivity
+//!   checker certifies Theorem 1 (`Ĝ` positive definite) on concrete models.
+
+use crate::{DenseMatrix, NumericsError};
+
+/// Cholesky factorization `A = G·Gᵀ` of a symmetric positive-definite real
+/// matrix (G lower-triangular).
+///
+/// # Example
+///
+/// ```
+/// use vpec_numerics::{Cholesky, DenseMatrix};
+///
+/// # fn main() -> Result<(), vpec_numerics::NumericsError> {
+/// let a = DenseMatrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let ch = Cholesky::new(&a)?;
+/// let x = ch.solve(&[1.0, 0.0])?;
+/// assert!((4.0 * x[0] + 2.0 * x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely (upper part zero).
+    g: DenseMatrix<f64>,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the input is the
+    /// caller's responsibility (use [`DenseMatrix::is_symmetric`] to check).
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::NotSquare`] if `a` is not square.
+    /// * [`NumericsError::NotPositiveDefinite`] if a diagonal pivot is not
+    ///   strictly positive — i.e. the matrix fails the passivity criterion.
+    pub fn new(a: &DenseMatrix<f64>) -> Result<Self, NumericsError> {
+        if !a.is_square() {
+            return Err(NumericsError::NotSquare {
+                found: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut g = DenseMatrix::<f64>::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= g[(j, k)] * g[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NumericsError::NotPositiveDefinite { row: j });
+            }
+            let dj = d.sqrt();
+            g[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= g[(i, k)] * g[(j, k)];
+                }
+                g[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { g })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.g.rows()
+    }
+
+    /// The lower-triangular factor `G`.
+    pub fn factor(&self) -> &DenseMatrix<f64> {
+        &self.g
+    }
+
+    /// Solves `A·x = b` via `G·y = b`, `Gᵀ·x = y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                op: "cholesky solve",
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let row = self.g.row(i);
+            let mut acc = x[i];
+            for (j, xv) in x.iter().enumerate().take(i) {
+                acc -= row[j] * *xv;
+            }
+            x[i] = acc / row[i];
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.g[(j, i)] * *xj;
+            }
+            x[i] = acc / self.g[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Cannot fail for a successfully constructed factorization; the
+    /// `Result` mirrors [`Cholesky::solve`].
+    pub fn inverse(&self) -> Result<DenseMatrix<f64>, NumericsError> {
+        let n = self.dim();
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for (i, v) in col.into_iter().enumerate() {
+                inv[(i, j)] = v;
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Log-determinant of `A` (numerically robust for large matrices).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.g[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Convenience: `true` iff `a` is symmetric (to `sym_tol`) and positive
+    /// definite. This is the concrete passivity test used throughout the
+    /// VPEC crates.
+    pub fn is_spd(a: &DenseMatrix<f64>, sym_tol: f64) -> bool {
+        a.is_symmetric(sym_tol) && Cholesky::new(a).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix<f64> {
+        DenseMatrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factors_known_matrix() {
+        // Classic example: G = [[2,0,0],[6,1,0],[-8,5,3]].
+        let ch = Cholesky::new(&spd3()).unwrap();
+        let g = ch.factor();
+        assert!((g[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((g[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((g[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((g[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((g[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((g[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_reconstructs_rhs() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let b = [1.0, -2.0, 3.5];
+        let x = ch.solve(&b).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(NumericsError::NotPositiveDefinite { row: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DenseMatrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(NumericsError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(3)).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let a = spd3();
+        let ld = Cholesky::new(&a).unwrap().log_det();
+        let det = crate::LuFactor::new(&a).unwrap().det();
+        assert!((ld - det.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spd_predicate() {
+        assert!(Cholesky::is_spd(&spd3(), 1e-12));
+        let asym = DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]).unwrap();
+        assert!(!Cholesky::is_spd(&asym, 1e-12));
+        let indef = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(!Cholesky::is_spd(&indef, 1e-12));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let ch = Cholesky::new(&DenseMatrix::identity(3)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+}

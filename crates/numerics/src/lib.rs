@@ -1,0 +1,55 @@
+//! Dense and sparse linear-algebra kernels for the VPEC workspace.
+//!
+//! The VPEC model (Yu & He, *A Provably Passive and Cost-Efficient Model for
+//! Inductive Interconnects*) is built on three numeric operations:
+//!
+//! 1. **Full inversion** of the partial-inductance matrix `L` (dense LU /
+//!    Cholesky) to obtain the VPEC circuit matrix `Ĝ = Dₗ L⁻¹ Dₗ`;
+//! 2. **Windowed inversion** — many small `b×b` sub-solves — to build the
+//!    sparse approximate inverse used by the wVPEC model;
+//! 3. **Sparse MNA solves** inside the circuit simulator, in both real
+//!    (transient) and complex (AC) arithmetic.
+//!
+//! This crate provides exactly those kernels, with no third-party
+//! dependencies: [`DenseMatrix`], [`LuFactor`], [`Cholesky`], [`CooMatrix`],
+//! [`CsrMatrix`], [`SparseLu`], and a [`Complex64`] type with a [`Scalar`]
+//! abstraction so the same solver code serves `f64` and complex AC analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use vpec_numerics::{DenseMatrix, LuFactor};
+//!
+//! # fn main() -> Result<(), vpec_numerics::NumericsError> {
+//! let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuFactor::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod complex;
+mod dense;
+pub mod eigen;
+mod error;
+mod lu;
+pub mod ordering;
+mod scalar;
+mod sparse;
+mod sparse_lu;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use complex::Complex64;
+pub use dense::DenseMatrix;
+pub use error::NumericsError;
+pub use lu::LuFactor;
+pub use scalar::Scalar;
+pub use sparse::{CooMatrix, CsrMatrix};
+pub use sparse_lu::SparseLu;
+pub use vector::{axpy, dot, norm2, norm_inf, scale, sub};

@@ -1,0 +1,93 @@
+//! Small vector helpers shared by the solvers and the circuit engine.
+
+use crate::Scalar;
+
+/// Dot product `Σ xᵢ·yᵢ` over the common prefix of the two slices.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert`) in debug builds if lengths differ.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = T::zero();
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += *a * *b;
+    }
+    acc
+}
+
+/// In-place `y ← y + alpha·x`.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert`) in debug builds if lengths differ.
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// In-place `x ← alpha·x`.
+pub fn scale<T: Scalar>(alpha: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise difference `x − y` as a new vector.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert`) in debug builds if lengths differ.
+pub fn sub<T: Scalar>(x: &[T], y: &[T]) -> Vec<T> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(a, b)| *a - *b).collect()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.modulus().powi(2)).sum::<f64>().sqrt()
+}
+
+/// Max norm `‖x‖∞`.
+pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let mut x = [1.0, -2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, [3.0, -6.0]);
+        assert_eq!(sub(&x, &[1.0, 1.0]), vec![2.0, -7.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf::<f64>(&[]), 0.0);
+    }
+
+    #[test]
+    fn complex_norms() {
+        let v = [Complex64::new(3.0, 4.0)];
+        assert_eq!(norm2(&v), 5.0);
+        assert_eq!(norm_inf(&v), 5.0);
+    }
+}

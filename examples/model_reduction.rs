@@ -1,0 +1,83 @@
+//! Model order reduction of an interconnect macromodel — the direction
+//! the paper announces as future work ("the authors intend to develop
+//! model order reduction for the VPEC model"), built here on Krylov
+//! projection for the passive RLC(+K) structure (the PEEC netlist; see
+//! `vpec::circuit::mor` for why controlled-source netlists need a
+//! structure-preserving method instead).
+//!
+//! A 48-bit bus PEEC model — MNA system of several hundred unknowns with
+//! dense inductive coupling — is reduced to a 24-state macromodel matching
+//! moments about 3 GHz from the aggressor to two victim far-ends, and the
+//! macromodel's transient is compared against the full netlist simulation.
+//!
+//! Run with: `cargo run --release --example model_reduction`
+
+use vpec::circuit::metrics::{resample, WaveformDiff};
+use vpec::circuit::mor::reduce_about;
+use vpec::circuit::Element;
+use vpec::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = Experiment::new(
+        BusSpec::new(48).build(),
+        &ExtractionConfig::paper_default(),
+        DriveConfig::paper_default(),
+    );
+    let built = exp.build(ModelKind::Peec)?;
+    let ckt = &built.model.circuit;
+    println!(
+        "PEEC netlist: {} elements, MNA dimension {}",
+        ckt.element_count(),
+        ckt.mna_dim()
+    );
+
+    // Locate the aggressor source element.
+    let src = ckt
+        .elements()
+        .iter()
+        .position(|e| matches!(e, Element::VSource { name, .. } if name.starts_with("drv")))
+        .map(vpec::circuit::ElementId)
+        .expect("aggressor source exists");
+
+    // Reduce: observe the near victim and a mid-bus victim.
+    let outputs = [built.model.far_nodes[1], built.model.far_nodes[24]];
+    // Expand about s0 = 2π·3 GHz — inside the noise pulse's band.
+    let s0 = 2.0 * std::f64::consts::PI * 3.0e9;
+    let t0 = std::time::Instant::now();
+    let rom = reduce_about(ckt, src, &outputs, 24, s0)?;
+    println!(
+        "reduced to order {} in {:.1} ms ({}x smaller than the MNA system)",
+        rom.order(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        ckt.mna_dim() / rom.order()
+    );
+
+    // Compare transients.
+    let t_stop = 0.5e-9;
+    let dt = 1e-12;
+    let t1 = std::time::Instant::now();
+    let (t_rom, y_rom) = rom.transient(t_stop, dt)?;
+    let rom_secs = t1.elapsed().as_secs_f64();
+    let t2 = std::time::Instant::now();
+    let (full, _) = built.run_transient(&TransientSpec::new(t_stop, dt))?;
+    let full_secs = t2.elapsed().as_secs_f64();
+
+    for (k, &node) in outputs.iter().enumerate() {
+        let v_full = full.voltage(node);
+        let v_rom = resample(&t_rom, &y_rom[k], full.time());
+        let d = WaveformDiff::compare(&v_full, &v_rom);
+        println!(
+            "victim {}: noise peak {:.2} mV | ROM error {:.3}% of peak",
+            if k == 0 { 1 } else { 24 },
+            d.ref_peak * 1e3,
+            d.max_pct_of_peak()
+        );
+    }
+    println!(
+        "simulation time: full netlist {:.1} ms, macromodel {:.2} ms ({:.0}x)",
+        full_secs * 1e3,
+        rom_secs * 1e3,
+        full_secs / rom_secs.max(1e-9)
+    );
+    Ok(())
+}
