@@ -43,7 +43,7 @@ pub fn run(bits: usize) -> BaselinesOutcome {
 
     let peec = exp.build(ModelKind::Peec).expect("PEEC build");
     let (rp, peec_secs) = peec.run_transient(&tspec).expect("PEEC transient");
-    let wp = peec.far_voltage(&rp, victim);
+    let wp = peec.far_voltage(&rp, victim).unwrap();
     let noise_peak = peak_abs(&wp);
 
     let kinds = [
@@ -71,7 +71,7 @@ pub fn run(bits: usize) -> BaselinesOutcome {
     for kind in kinds {
         let built = exp.build(kind).expect("build");
         let (r, secs_run) = built.run_transient(&tspec).expect("transient");
-        let w = built.far_voltage(&r, victim);
+        let w = built.far_voltage(&r, victim).unwrap();
         let d = WaveformDiff::compare(&wp, &w);
         let sf = built.sparse_factor.unwrap_or(1.0);
         // Passivity: VPEC kinds are provably passive; shift truncation is
@@ -135,14 +135,14 @@ fn return_limited_sweep(signals: usize) -> String {
         };
         let peec = exp.build(ModelKind::Peec).expect("PEEC build");
         let (rp, _) = peec.run_transient(&tspec).expect("PEEC transient");
-        let wp = rp.voltage(peec.model.far_nodes[sigs[1]]);
+        let wp = rp.voltage(peec.model.far_nodes[sigs[1]]).unwrap();
         let (mc, signal_nets) = return_limited(&layout, &para, &drive).expect("RL build");
         let pos = signal_nets
             .iter()
             .position(|&k| k == sigs[1])
             .expect("victim is a signal");
         let rr = run_transient(&mc.circuit, &tspec).expect("RL transient");
-        let wr = rr.voltage(mc.far_nodes[pos]);
+        let wr = rr.voltage(mc.far_nodes[pos]).unwrap();
         let d = WaveformDiff::compare(&wp, &wr);
         let n_mutual = mc
             .circuit

@@ -56,9 +56,9 @@ pub fn run() -> Fig2Outcome {
     let (rp, t_peec) = peec.run_transient(&tspec).expect("PEEC transient");
     let (rf, t_full) = full.run_transient(&tspec).expect("full VPEC transient");
     let (rl, t_local) = local.run_transient(&tspec).expect("localized transient");
-    let wp = peec.far_voltage(&rp, victim);
-    let wf = full.far_voltage(&rf, victim);
-    let wl = local.far_voltage(&rl, victim);
+    let wp = peec.far_voltage(&rp, victim).unwrap();
+    let wf = full.far_voltage(&rf, victim).unwrap();
+    let wl = local.far_voltage(&rl, victim).unwrap();
     let d_full = WaveformDiff::compare(&wp, &wf);
     let d_local = WaveformDiff::compare(&wp, &wl);
 
@@ -67,9 +67,9 @@ pub fn run() -> Fig2Outcome {
     let (ap, _) = peec.run_ac(&aspec).expect("PEEC AC");
     let (af, _) = full.run_ac(&aspec).expect("full VPEC AC");
     let (al, _) = local.run_ac(&aspec).expect("localized AC");
-    let mp = ap.magnitude(peec.model.far_nodes[victim]);
-    let mf = af.magnitude(full.model.far_nodes[victim]);
-    let ml = al.magnitude(local.model.far_nodes[victim]);
+    let mp = ap.magnitude(peec.model.far_nodes[victim]).unwrap();
+    let mf = af.magnitude(full.model.far_nodes[victim]).unwrap();
+    let ml = al.magnitude(local.model.far_nodes[victim]).unwrap();
     let rel_dev = |reference: &[f64], cand: &[f64]| -> f64 {
         let peak = reference.iter().cloned().fold(0.0f64, f64::max).max(1e-30);
         reference

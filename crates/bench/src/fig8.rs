@@ -92,8 +92,8 @@ pub fn run(dense_sizes: &[usize], sparse_only_sizes: &[usize]) -> Fig8Outcome {
             let spec = base_spec.clone().probes(probes(&built));
             let (res, sim_secs) = built.run_transient(&spec).expect("transient");
             let total = built.build_seconds + sim_secs;
-            let w_victim = built.far_voltage(&res, victim);
-            let w_agg = built.far_voltage(&res, 0);
+            let w_victim = built.far_voltage(&res, victim).unwrap();
+            let w_agg = built.far_voltage(&res, 0).unwrap();
             let delay = crossing_time(res.time(), &w_agg, 0.5).unwrap_or(0.0);
             let (avg_diff_pct, delay_diff_pct) = if matches!(kind, ModelKind::Peec) {
                 peec_time = total;

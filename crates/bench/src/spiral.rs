@@ -72,9 +72,9 @@ pub fn run(threshold: f64) -> SpiralOutcome {
     let (rf, sf) = full.run_transient(&tspec).expect("full VPEC transient");
     let (rw, sw) = nw.run_transient(&tspec).expect("nwVPEC transient");
     // Output port = far end of the single spiral net.
-    let wp = peec.far_voltage(&rp, 0);
-    let wf = full.far_voltage(&rf, 0);
-    let ww = nw.far_voltage(&rw, 0);
+    let wp = peec.far_voltage(&rp, 0).unwrap();
+    let wf = full.far_voltage(&rf, 0).unwrap();
+    let ww = nw.far_voltage(&rw, 0).unwrap();
     let d_full = WaveformDiff::compare(&wp, &wf);
     let d_win = WaveformDiff::compare(&wp, &ww);
     let peak = peak_abs(&wp);

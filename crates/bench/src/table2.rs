@@ -46,7 +46,7 @@ pub fn run(bits: usize, segments: usize) -> Table2Outcome {
 
     let peec = exp.build(ModelKind::Peec).expect("PEEC build");
     let (rp, peec_seconds) = peec.run_transient(&tspec).expect("PEEC transient");
-    let wp = peec.far_voltage(&rp, victim);
+    let wp = peec.far_voltage(&rp, victim).unwrap();
     let noise_peak = peak_abs(&wp);
 
     let windows = [
@@ -71,7 +71,7 @@ pub fn run(bits: usize, segments: usize) -> Table2Outcome {
             .build(ModelKind::TVpecGeometric { nw, nl })
             .expect("gtVPEC build");
         let (r, secs_run) = built.run_transient(&tspec).expect("gtVPEC transient");
-        let w = built.far_voltage(&r, victim);
+        let w = built.far_voltage(&r, victim).unwrap();
         let d = WaveformDiff::compare(&wp, &w);
         rows.push(((nw, nl), secs_run, d.avg_abs, d.std_dev));
         t.row(&[

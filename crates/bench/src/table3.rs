@@ -48,12 +48,12 @@ pub fn run(bits: usize) -> Table3Outcome {
 
     let peec = exp.build(ModelKind::Peec).expect("PEEC build");
     let (rp, peec_seconds) = peec.run_transient(&tspec).expect("PEEC transient");
-    let wp = peec.far_voltage(&rp, victim);
+    let wp = peec.far_voltage(&rp, victim).unwrap();
     let noise_peak = peak_abs(&wp);
 
     let full = exp.build(ModelKind::VpecFull).expect("full VPEC build");
     let (rf, full_vpec_seconds) = full.run_transient(&tspec).expect("full VPEC transient");
-    let wf = full.far_voltage(&rf, victim);
+    let wf = full.far_voltage(&rf, victim).unwrap();
     let d_full = WaveformDiff::compare(&wp, &wf);
 
     let thresholds = [0.001, 0.003, 0.01, 0.03];
@@ -79,7 +79,7 @@ pub fn run(bits: usize) -> Table3Outcome {
             .build(ModelKind::TVpecNumerical { threshold: tau })
             .expect("ntVPEC build");
         let (r, secs_run) = built.run_transient(&tspec).expect("ntVPEC transient");
-        let w = built.far_voltage(&r, victim);
+        let w = built.far_voltage(&r, victim).unwrap();
         let d = WaveformDiff::compare(&wp, &w);
         let sf = built.sparse_factor.unwrap_or(1.0);
         rows.push((tau, sf, secs_run, d.avg_abs));

@@ -48,8 +48,8 @@ pub fn run(bits: usize, bs: &[usize]) -> Table4Outcome {
 
     let peec = exp.build(ModelKind::Peec).expect("PEEC build");
     let (rp, peec_secs) = peec.run_transient(&tspec).expect("PEEC transient");
-    let wp_near = peec.far_voltage(&rp, near_victim);
-    let wp_far = peec.far_voltage(&rp, far_victim);
+    let wp_near = peec.far_voltage(&rp, near_victim).unwrap();
+    let wp_far = peec.far_voltage(&rp, far_victim).unwrap();
     let far_peak = peak_abs(&wp_far);
 
     let mut rows = Vec::new();
@@ -71,11 +71,11 @@ pub fn run(bits: usize, bs: &[usize]) -> Table4Outcome {
             .expect("gwVPEC build");
         let (rt, _) = gt.run_transient(&tspec).expect("gtVPEC transient");
         let (rw, _) = gw.run_transient(&tspec).expect("gwVPEC transient");
-        let dt_far = WaveformDiff::compare(&wp_far, &gt.far_voltage(&rt, far_victim));
-        let dw_far = WaveformDiff::compare(&wp_far, &gw.far_voltage(&rw, far_victim));
+        let dt_far = WaveformDiff::compare(&wp_far, &gt.far_voltage(&rt, far_victim).unwrap());
+        let dw_far = WaveformDiff::compare(&wp_far, &gw.far_voltage(&rw, far_victim).unwrap());
         if k == 0 {
-            let dt_near = WaveformDiff::compare(&wp_near, &gt.far_voltage(&rt, near_victim));
-            let dw_near = WaveformDiff::compare(&wp_near, &gw.far_voltage(&rw, near_victim));
+            let dt_near = WaveformDiff::compare(&wp_near, &gt.far_voltage(&rt, near_victim).unwrap());
+            let dw_near = WaveformDiff::compare(&wp_near, &gw.far_voltage(&rw, near_victim).unwrap());
             near_diffs = (dt_near.avg_abs, dw_near.avg_abs);
         }
         rows.push((b, dt_far.avg_abs, dw_far.avg_abs));

@@ -65,13 +65,13 @@ pub fn dump_figures(dir: &Path, full: bool) -> std::io::Result<Vec<String>> {
                 cols.push(res.time().to_vec());
             }
             header.push(format!("{name}_bit2_v"));
-            cols.push(built.far_voltage(&res, 1));
+            cols.push(built.far_voltage(&res, 1).unwrap());
             let (ac, _) = built.run_ac(&aspec).expect("ac");
             if f_cols.is_empty() {
                 f_cols.push(ac.frequency().to_vec());
             }
             f_header.push(format!("{name}_bit2_mag"));
-            f_cols.push(ac.magnitude(built.model.far_nodes[1]));
+            f_cols.push(ac.magnitude(built.model.far_nodes[1]).unwrap());
         }
         let p = dir.join("fig2a_timedomain.csv");
         write_csv(&p, &header, &cols)?;
@@ -104,7 +104,7 @@ pub fn dump_figures(dir: &Path, full: bool) -> std::io::Result<Vec<String>> {
                 cols.push(res.time().to_vec());
             }
             header.push(format!("{name}_bit2_v"));
-            cols.push(built.far_voltage(&res, 1));
+            cols.push(built.far_voltage(&res, 1).unwrap());
         }
         let p = dir.join("fig3_truncation.csv");
         write_csv(&p, &header, &cols)?;
@@ -130,9 +130,9 @@ pub fn dump_figures(dir: &Path, full: bool) -> std::io::Result<Vec<String>> {
                 cols.push(res.time().to_vec());
             }
             header.push(format!("{name}_bit2_v"));
-            cols.push(built.far_voltage(&res, 1));
+            cols.push(built.far_voltage(&res, 1).unwrap());
             header.push(format!("{name}_bit{}_v", bits / 2));
-            cols.push(built.far_voltage(&res, bits / 2));
+            cols.push(built.far_voltage(&res, bits / 2).unwrap());
         }
         let p = dir.join("fig5_windowing.csv");
         write_csv(&p, &header, &cols)?;
@@ -161,7 +161,7 @@ pub fn dump_figures(dir: &Path, full: bool) -> std::io::Result<Vec<String>> {
                 cols.push(res.time().to_vec());
             }
             header.push(format!("{name}_out_v"));
-            cols.push(built.far_voltage(&res, 0));
+            cols.push(built.far_voltage(&res, 0).unwrap());
         }
         let p = dir.join("fig7_spiral.csv");
         write_csv(&p, &header, &cols)?;

@@ -331,8 +331,8 @@ mod tests {
             run_transient_adaptive(&c, &AdaptiveSpec::new(t_stop, 2e-9).tol(1e-4)).unwrap();
         assert!(stats.accepted > 10);
         // Resample the adaptive result onto the fixed grid and compare.
-        let va = adaptive.voltage(out);
-        let vf = fixed.voltage(out);
+        let va = adaptive.voltage(out).unwrap();
+        let vf = fixed.voltage(out).unwrap();
         let va_resampled = resample(adaptive.time(), &va, fixed.time());
         for (a, f) in va_resampled.iter().zip(vf.iter()) {
             assert!((a - f).abs() < 5e-3, "adaptive {a} vs fixed {f}");
@@ -379,7 +379,7 @@ mod tests {
         let (res, stats) =
             run_transient_adaptive(&c, &AdaptiveSpec::new(20e-9, 0.2e-9).tol(1e-3)).unwrap();
         assert!(stats.rejected > 0, "the edge must trigger rejections");
-        let v = res.voltage(out);
+        let v = res.voltage(out).unwrap();
         assert!((v.last().unwrap() - 1.0).abs() < 5e-3);
     }
 

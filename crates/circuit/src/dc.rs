@@ -1,11 +1,12 @@
 //! DC operating-point analysis: capacitors open, inductors shorted,
 //! sources at their `t = 0` values.
 
+use crate::diagnostics::FactorDiagnostics;
 use crate::elements::Element;
 use crate::error::CircuitError;
 use crate::mna::{add_source_rhs, assemble, MnaLayout};
 use crate::netlist::{Circuit, NodeId};
-use crate::solver::{Factored, SolverKind};
+use crate::solver::{FactorOptions, Factored, SolverKind};
 
 /// The DC solution: node voltages and branch currents.
 #[derive(Debug, Clone)]
@@ -51,6 +52,28 @@ pub fn solve_dc(ckt: &Circuit) -> Result<DcSolution, CircuitError> {
 ///
 /// See [`solve_dc`].
 pub fn solve_dc_with(ckt: &Circuit, kind: SolverKind) -> Result<DcSolution, CircuitError> {
+    solve_dc_report(ckt, kind).map(|(sol, _)| sol)
+}
+
+/// [`solve_dc_with`] plus the factorization fallback-chain diagnostics.
+///
+/// # Errors
+///
+/// See [`solve_dc`].
+pub fn solve_dc_report(
+    ckt: &Circuit,
+    kind: SolverKind,
+) -> Result<(DcSolution, FactorDiagnostics), CircuitError> {
+    solve_dc_opts(ckt, FactorOptions::new(kind))
+}
+
+/// [`solve_dc_report`] with full factorization options — lets the guarded
+/// transient start from a regularized operating point when the caller
+/// opted into the Tikhonov stage.
+pub(crate) fn solve_dc_opts(
+    ckt: &Circuit,
+    opts: FactorOptions,
+) -> Result<(DcSolution, FactorDiagnostics), CircuitError> {
     let layout = MnaLayout::new(ckt);
     let a = assemble::<f64>(ckt, &layout, |_| 0.0, |_| 0.0);
     let mut rhs = vec![0.0; layout.dim];
@@ -62,15 +85,18 @@ pub fn solve_dc_with(ckt: &Circuit, kind: SolverKind) -> Result<DcSolution, Circ
             _ => {}
         }
     }
-    let factored = Factored::factor(&a, kind).map_err(|e| match e {
+    let (factored, diag) = Factored::factor_with(&a, opts).map_err(|e| match e {
         CircuitError::SingularSystem { .. } => CircuitError::SingularSystem { analysis: "dc" },
         other => other,
     })?;
     let x = factored.solve(&rhs)?;
-    Ok(DcSolution {
-        x,
-        n_nodes: layout.n_nodes,
-    })
+    Ok((
+        DcSolution {
+            x,
+            n_nodes: layout.n_nodes,
+        },
+        diag,
+    ))
 }
 
 #[cfg(test)]

@@ -1,0 +1,204 @@
+//! Structured diagnostics for the fault-tolerant solve pipeline.
+//!
+//! Every analysis can report *how* it obtained its answer: which
+//! factorization backends were attempted, how ill-conditioned the
+//! accepted factor looked, whether Tikhonov regularization was applied,
+//! and how many checkpointed retries the transient integrator needed.
+//! The harness aggregates these into the `SolveReport` surfaced by the
+//! CLI, so a degraded-but-successful run is visible instead of silent.
+//!
+//! [`FaultInjection`] is the test hook that exercises the recovery
+//! branches: it can force the primary factorization to fail and poison
+//! the transient solution with NaN at a chosen step.
+
+/// A factorization backend attempted by the fallback chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorStrategy {
+    /// Sparse Gilbert–Peierls LU with RCM ordering.
+    SparseLu,
+    /// Sparse LU without the fill-reducing ordering.
+    SparseLuNoOrdering,
+    /// Dense LU with partial pivoting.
+    DenseLu,
+    /// Dense LU of the Tikhonov-shifted system `A + ε·I`.
+    RegularizedDenseLu,
+}
+
+impl FactorStrategy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FactorStrategy::SparseLu => "sparse-lu",
+            FactorStrategy::SparseLuNoOrdering => "sparse-lu-no-ordering",
+            FactorStrategy::DenseLu => "dense-lu",
+            FactorStrategy::RegularizedDenseLu => "regularized-dense-lu",
+        }
+    }
+}
+
+/// One entry of the fallback chain: what was tried and whether it stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactorAttempt {
+    /// Backend attempted.
+    pub strategy: FactorStrategy,
+    /// Whether the factorization succeeded.
+    pub succeeded: bool,
+}
+
+/// Diagnostics of one factorization through the fallback chain.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FactorDiagnostics {
+    /// Every backend attempted, in order; the last entry is the one that
+    /// produced the factor (when any succeeded).
+    pub attempts: Vec<FactorAttempt>,
+    /// Cheap condition estimate of the accepted factor
+    /// (`max|uᵢᵢ| / min|uᵢᵢ|` over the U diagonal), when available.
+    pub condition_estimate: Option<f64>,
+    /// The Tikhonov shift `ε` that was finally applied, if the
+    /// regularized stage was reached.
+    pub regularization: Option<f64>,
+}
+
+impl FactorDiagnostics {
+    /// `true` when anything beyond the primary backend was needed.
+    pub fn used_fallback(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// The backend that produced the factor, if any succeeded.
+    pub fn accepted(&self) -> Option<FactorStrategy> {
+        self.attempts
+            .iter()
+            .rev()
+            .find(|a| a.succeeded)
+            .map(|a| a.strategy)
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `"sparse-lu failed -> dense-lu ok (cond ~ 1.2e3)"`.
+    pub fn summary(&self) -> String {
+        let mut parts: Vec<String> = self
+            .attempts
+            .iter()
+            .map(|a| {
+                format!(
+                    "{} {}",
+                    a.strategy.label(),
+                    if a.succeeded { "ok" } else { "failed" }
+                )
+            })
+            .collect();
+        if let Some(eps) = self.regularization {
+            parts.push(format!("epsilon {eps:.1e}"));
+        }
+        let mut s = parts.join(" -> ");
+        if let Some(c) = self.condition_estimate {
+            s.push_str(&format!(" (cond ~ {c:.1e})"));
+        }
+        s
+    }
+}
+
+/// Diagnostics of a guarded transient run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransientDiagnostics {
+    /// Fallback-chain record of the initial factorization.
+    pub factor: FactorDiagnostics,
+    /// Checkpointed retries: times a non-finite solution forced the step
+    /// size to halve and the step to be re-taken.
+    pub retries: usize,
+    /// Extra factorizations beyond the first (one per retry).
+    pub refactorizations: usize,
+    /// The step size in effect when the run finished (== the spec's `dt`
+    /// when no retry occurred).
+    pub final_dt: f64,
+    /// Accepted time steps.
+    pub steps: usize,
+}
+
+impl TransientDiagnostics {
+    /// `true` if the run needed any recovery action.
+    pub fn degraded(&self) -> bool {
+        self.retries > 0 || self.factor.used_fallback()
+    }
+}
+
+/// Test-only fault injection at pipeline stage boundaries.
+///
+/// Defaults to "inject nothing". Carried by analysis specs so
+/// integration tests (and the CLI's hidden `--inject` flag) can exercise
+/// every branch of the recovery chain deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Report the primary factorization backend as failed, forcing the
+    /// fallback chain to engage.
+    pub fail_primary_factor: bool,
+    /// Poison the transient solution with NaN once, right after this
+    /// accepted step count (0 poisons the first computed step).
+    pub poison_step: Option<usize>,
+}
+
+impl FaultInjection {
+    /// No faults — the default.
+    pub fn none() -> Self {
+        FaultInjection::default()
+    }
+
+    /// `true` if any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        self.fail_primary_factor || self.poison_step.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_every_stage() {
+        let d = FactorDiagnostics {
+            attempts: vec![
+                FactorAttempt {
+                    strategy: FactorStrategy::SparseLu,
+                    succeeded: false,
+                },
+                FactorAttempt {
+                    strategy: FactorStrategy::DenseLu,
+                    succeeded: true,
+                },
+            ],
+            condition_estimate: Some(1234.0),
+            regularization: None,
+        };
+        let s = d.summary();
+        assert!(s.contains("sparse-lu failed"));
+        assert!(s.contains("dense-lu ok"));
+        assert!(s.contains("cond"));
+        assert!(d.used_fallback());
+        assert_eq!(d.accepted(), Some(FactorStrategy::DenseLu));
+    }
+
+    #[test]
+    fn default_is_clean() {
+        let d = FactorDiagnostics::default();
+        assert!(!d.used_fallback());
+        assert_eq!(d.accepted(), None);
+        let t = TransientDiagnostics::default();
+        assert!(!t.degraded());
+        assert!(!FaultInjection::none().is_armed());
+    }
+
+    #[test]
+    fn armed_detection() {
+        assert!(FaultInjection {
+            fail_primary_factor: true,
+            ..FaultInjection::default()
+        }
+        .is_armed());
+        assert!(FaultInjection {
+            poison_step: Some(3),
+            ..FaultInjection::default()
+        }
+        .is_armed());
+    }
+}

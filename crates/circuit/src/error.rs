@@ -37,6 +37,20 @@ pub enum CircuitError {
         /// Description of what was wrong.
         reason: &'static str,
     },
+    /// A result accessor was asked for a node that the analysis did not
+    /// record (not probed, or out of range).
+    NodeNotRecorded {
+        /// The requested node id.
+        node: usize,
+    },
+    /// An analysis produced a non-finite (NaN/∞) solution that the
+    /// recovery chain could not repair.
+    NonFiniteSolution {
+        /// Analysis that failed (`"dc"`, `"transient"`, `"ac"`).
+        analysis: &'static str,
+        /// The step at which recovery gave up (0 for non-stepped analyses).
+        step: usize,
+    },
     /// An underlying numerics failure that is not a plain singularity.
     Numerics(NumericsError),
 }
@@ -59,6 +73,15 @@ impl fmt::Display for CircuitError {
                 "singular MNA system in {analysis} analysis (floating node or voltage-source loop?)"
             ),
             CircuitError::InvalidSpec { reason } => write!(f, "invalid analysis spec: {reason}"),
+            CircuitError::NodeNotRecorded { node } => write!(
+                f,
+                "node {node} was not recorded by this analysis (add it to the probe list?)"
+            ),
+            CircuitError::NonFiniteSolution { analysis, step } => write!(
+                f,
+                "non-finite solution in {analysis} analysis at step {step} \
+                 (recovery retries exhausted)"
+            ),
             CircuitError::Numerics(e) => write!(f, "numerics error: {e}"),
         }
     }

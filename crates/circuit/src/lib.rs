@@ -42,11 +42,18 @@
 //!     &ckt,
 //!     &TransientSpec::new(5e-6, 1e-8).integrator(Integrator::Trapezoidal),
 //! )?;
-//! let v_end = *res.voltage(out).last().unwrap();
+//! let v_end = *res.voltage(out)?.last().unwrap();
 //! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 5 τ
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every analysis is **guarded**: factorization runs through a bounded
+//! fallback chain (sparse LU → dense LU → optional Tikhonov
+//! regularization), the transient integrator checkpoints and retries at a
+//! halved step size when the solution goes non-finite, and
+//! [`diagnostics`] records what happened so callers can surface degraded
+//! runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +61,7 @@
 pub mod ac;
 pub mod adaptive;
 pub mod dc;
+pub mod diagnostics;
 pub mod metrics;
 pub mod mor;
 pub mod spice_in;
@@ -69,6 +77,9 @@ mod solver;
 mod waveform;
 
 pub use adaptive::{AdaptiveSpec, AdaptiveStats};
+pub use diagnostics::{
+    FactorAttempt, FactorDiagnostics, FactorStrategy, FaultInjection, TransientDiagnostics,
+};
 pub use elements::{Element, ElementId};
 pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId};

@@ -1,6 +1,12 @@
 //! Analysis results: transient waveforms and AC sweeps.
+//!
+//! Accessors return `Result` instead of panicking: asking for a node the
+//! analysis did not record is an ordinary runtime condition (a typo'd
+//! probe list, a net name from a different layout), not a programming
+//! error, so it surfaces as [`CircuitError::NodeNotRecorded`].
 
 use crate::elements::ElementId;
+use crate::error::CircuitError;
 use crate::netlist::NodeId;
 use std::collections::HashMap;
 use vpec_numerics::Complex64;
@@ -18,6 +24,25 @@ pub(crate) enum ResultMapping {
     },
     /// Only selected node voltages were stored (big-circuit mode).
     Probes(HashMap<usize, usize>),
+}
+
+impl ResultMapping {
+    /// Column holding the given non-ground node's voltage.
+    fn node_column(&self, node: NodeId) -> Result<usize, CircuitError> {
+        match self {
+            ResultMapping::Full { n_nodes, .. } => {
+                if node.0 - 1 < *n_nodes {
+                    Ok(node.0 - 1)
+                } else {
+                    Err(CircuitError::NodeNotRecorded { node: node.0 })
+                }
+            }
+            ResultMapping::Probes(map) => map
+                .get(&node.0)
+                .copied()
+                .ok_or(CircuitError::NodeNotRecorded { node: node.0 }),
+        }
+    }
 }
 
 /// Result of a transient analysis.
@@ -51,24 +76,17 @@ impl TransientResult {
 
     /// Voltage waveform of a node (ground returns all zeros).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node was not recorded (out of range, or not in the
-    /// probe list when probing was restricted).
-    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+    /// [`CircuitError::NodeNotRecorded`] if the node was not recorded
+    /// (out of range, or not in the probe list when probing was
+    /// restricted).
+    pub fn voltage(&self, node: NodeId) -> Result<Vec<f64>, CircuitError> {
         if node.is_ground() {
-            return vec![0.0; self.times.len()];
+            return Ok(vec![0.0; self.times.len()]);
         }
-        let col = match &self.mapping {
-            ResultMapping::Full { n_nodes, .. } => {
-                assert!(node.0 - 1 < *n_nodes, "node out of range for this result");
-                node.0 - 1
-            }
-            ResultMapping::Probes(map) => *map
-                .get(&node.0)
-                .unwrap_or_else(|| panic!("node {} was not probed", node.0)),
-        };
-        self.data.iter().map(|row| row[col]).collect()
+        let col = self.mapping.node_column(node)?;
+        Ok(self.data.iter().map(|row| row[col]).collect())
     }
 
     /// Branch-current waveform of a branch element (V source, inductor,
@@ -86,20 +104,21 @@ impl TransientResult {
 
     /// Voltage at a single `(step, node)` point.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if indices are out of range or the node was not recorded.
-    pub fn voltage_at(&self, step: usize, node: NodeId) -> f64 {
-        if node.is_ground() {
-            return 0.0;
+    /// [`CircuitError::NodeNotRecorded`] if the node was not recorded,
+    /// [`CircuitError::InvalidSpec`] if `step` is out of range.
+    pub fn voltage_at(&self, step: usize, node: NodeId) -> Result<f64, CircuitError> {
+        if step >= self.data.len() {
+            return Err(CircuitError::InvalidSpec {
+                reason: "time step out of range for this result",
+            });
         }
-        let col = match &self.mapping {
-            ResultMapping::Full { .. } => node.0 - 1,
-            ResultMapping::Probes(map) => *map
-                .get(&node.0)
-                .unwrap_or_else(|| panic!("node {} was not probed", node.0)),
-        };
-        self.data[step][col]
+        if node.is_ground() {
+            return Ok(0.0);
+        }
+        let col = self.mapping.node_column(node)?;
+        Ok(self.data[step][col])
     }
 }
 
@@ -120,29 +139,41 @@ impl AcResult {
 
     /// Complex node voltage across the sweep (ground returns zeros).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node does not belong to the simulated circuit.
-    pub fn voltage(&self, node: NodeId) -> Vec<Complex64> {
+    /// [`CircuitError::NodeNotRecorded`] if the node does not belong to
+    /// the simulated circuit.
+    pub fn voltage(&self, node: NodeId) -> Result<Vec<Complex64>, CircuitError> {
         if node.is_ground() {
-            return vec![Complex64::ZERO; self.freqs.len()];
+            return Ok(vec![Complex64::ZERO; self.freqs.len()]);
         }
         let idx = node.0 - 1;
-        assert!(idx < self.n_nodes, "node out of range for this result");
-        self.data.iter().map(|row| row[idx]).collect()
+        if idx >= self.n_nodes {
+            return Err(CircuitError::NodeNotRecorded { node: node.0 });
+        }
+        Ok(self.data.iter().map(|row| row[idx]).collect())
     }
 
     /// Voltage magnitude across the sweep.
-    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
-        self.voltage(node).iter().map(|z| z.abs()).collect()
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AcResult::voltage`].
+    pub fn magnitude(&self, node: NodeId) -> Result<Vec<f64>, CircuitError> {
+        Ok(self.voltage(node)?.iter().map(|z| z.abs()).collect())
     }
 
     /// Voltage magnitude in decibels (`20·log₁₀|V|`).
-    pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
-        self.voltage(node)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AcResult::voltage`].
+    pub fn magnitude_db(&self, node: NodeId) -> Result<Vec<f64>, CircuitError> {
+        Ok(self
+            .voltage(node)?
             .iter()
             .map(|z| 20.0 * z.abs().max(1e-300).log10())
-            .collect()
+            .collect())
     }
 }
 
@@ -166,12 +197,12 @@ mod tests {
         let r = sample();
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());
-        assert_eq!(r.voltage(NodeId(1)), vec![0.0, 1.0, 2.0]);
-        assert_eq!(r.voltage(NodeId(0)), vec![0.0; 3]);
+        assert_eq!(r.voltage(NodeId(1)).unwrap(), vec![0.0, 1.0, 2.0]);
+        assert_eq!(r.voltage(NodeId(0)).unwrap(), vec![0.0; 3]);
         assert_eq!(r.branch_current(ElementId(5)), Some(vec![10.0, 20.0, 30.0]));
         assert_eq!(r.branch_current(ElementId(0)), None);
-        assert_eq!(r.voltage_at(2, NodeId(1)), 2.0);
-        assert_eq!(r.voltage_at(2, NodeId(0)), 0.0);
+        assert_eq!(r.voltage_at(2, NodeId(1)).unwrap(), 2.0);
+        assert_eq!(r.voltage_at(2, NodeId(0)).unwrap(), 0.0);
     }
 
     #[test]
@@ -181,19 +212,38 @@ mod tests {
             data: vec![vec![7.0], vec![8.0]],
             mapping: ResultMapping::Probes(HashMap::from([(3usize, 0usize)])),
         };
-        assert_eq!(r.voltage(NodeId(3)), vec![7.0, 8.0]);
+        assert_eq!(r.voltage(NodeId(3)).unwrap(), vec![7.0, 8.0]);
         assert_eq!(r.branch_current(ElementId(0)), None);
     }
 
     #[test]
-    #[should_panic(expected = "not probed")]
-    fn unprobed_node_panics() {
+    fn unprobed_node_is_typed_error() {
         let r = TransientResult {
             times: vec![0.0],
             data: vec![vec![7.0]],
             mapping: ResultMapping::Probes(HashMap::from([(3usize, 0usize)])),
         };
-        r.voltage(NodeId(2));
+        assert!(matches!(
+            r.voltage(NodeId(2)),
+            Err(CircuitError::NodeNotRecorded { node: 2 })
+        ));
+        assert!(matches!(
+            r.voltage_at(0, NodeId(2)),
+            Err(CircuitError::NodeNotRecorded { node: 2 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_node_is_typed_error() {
+        let r = sample();
+        assert!(matches!(
+            r.voltage(NodeId(9)),
+            Err(CircuitError::NodeNotRecorded { node: 9 })
+        ));
+        assert!(matches!(
+            r.voltage_at(99, NodeId(1)),
+            Err(CircuitError::InvalidSpec { .. })
+        ));
     }
 
     #[test]
@@ -207,9 +257,13 @@ mod tests {
             n_nodes: 1,
         };
         assert_eq!(r.frequency(), &[1.0, 10.0]);
-        assert_eq!(r.magnitude(NodeId(1)), vec![5.0, 1.0]);
-        let db = r.magnitude_db(NodeId(1));
+        assert_eq!(r.magnitude(NodeId(1)).unwrap(), vec![5.0, 1.0]);
+        let db = r.magnitude_db(NodeId(1)).unwrap();
         assert!((db[0] - 20.0 * 5.0f64.log10()).abs() < 1e-12);
-        assert_eq!(r.voltage(NodeId(0))[0], Complex64::ZERO);
+        assert_eq!(r.voltage(NodeId(0)).unwrap()[0], Complex64::ZERO);
+        assert!(matches!(
+            r.voltage(NodeId(4)),
+            Err(CircuitError::NodeNotRecorded { node: 4 })
+        ));
     }
 }

@@ -57,18 +57,24 @@ pub fn parse_value(tok: &str) -> Result<f64, String> {
         .map_err(|_| format!("malformed value: {tok}"))
 }
 
-/// A parse failure with its line number (1-based).
+/// A parse failure with its position in the deck (1-based line, and the
+/// 1-based column of the offending token when it can be attributed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// 1-based line number in the deck.
     pub line: usize,
+    /// 1-based column of the offending token, when known.
+    pub column: Option<usize>,
     /// Human-readable message.
     pub message: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match self.column {
+            Some(col) => write!(f, "line {}, col {}: {}", self.line, col, self.message),
+            None => write!(f, "line {}: {}", self.line, self.message),
+        }
     }
 }
 
@@ -77,12 +83,41 @@ impl std::error::Error for ParseError {}
 fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
+        column: None,
+        message: message.into(),
+    }
+}
+
+fn err_at(line: usize, column: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        column: Some(column),
         message: message.into(),
     }
 }
 
 fn circuit_err(line: usize, e: CircuitError) -> ParseError {
     err(line, e.to_string())
+}
+
+/// Whitespace-separated tokens of a card with the 1-based column each one
+/// starts at — the source of the column numbers in [`ParseError`].
+fn token_spans(line: &str) -> Vec<(usize, &str)> {
+    let mut spans = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, ch) in line.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                spans.push((s + 1, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        spans.push((s + 1, &line[s..]));
+    }
+    spans
 }
 
 /// Splits `PWL(a b c …)` / `PULSE(…)` argument lists; the card body may
@@ -96,17 +131,23 @@ fn fn_args<'a>(body: &'a str, name: &str) -> Option<Vec<&'a str>> {
 }
 
 /// Parses the source specification after the node tokens: DC/PWL/PULSE
-/// plus an optional trailing `AC mag phase`.
-fn parse_source(line_no: usize, spec: &str) -> Result<(Waveform, Option<(f64, f64)>), ParseError> {
+/// plus an optional trailing `AC mag phase`. `spec_col` is the 1-based
+/// column where the specification starts, used to attribute errors.
+fn parse_source(
+    line_no: usize,
+    spec_col: usize,
+    spec: &str,
+) -> Result<(Waveform, Option<(f64, f64)>), ParseError> {
+    let fail = |m: String| err_at(line_no, spec_col, m);
     let upper = spec.to_ascii_uppercase();
     // Optional AC tail.
     let (body, ac) = if let Some(pos) = upper.find(" AC ") {
         let tail: Vec<&str> = spec[pos + 4..].split_whitespace().collect();
         if tail.len() < 2 {
-            return Err(err(line_no, "AC needs magnitude and phase"));
+            return Err(fail("AC needs magnitude and phase".into()));
         }
-        let mag = parse_value(tail[0]).map_err(|m| err(line_no, m))?;
-        let ph = parse_value(tail[1]).map_err(|m| err(line_no, m))?;
+        let mag = parse_value(tail[0]).map_err(&fail)?;
+        let ph = parse_value(tail[1]).map_err(&fail)?;
         (&spec[..pos], Some((mag, ph)))
     } else {
         (spec, None)
@@ -115,31 +156,31 @@ fn parse_source(line_no: usize, spec: &str) -> Result<(Waveform, Option<(f64, f6
     let wave = if upper.trim_start().starts_with("DC") {
         let toks: Vec<&str> = body.split_whitespace().collect();
         if toks.len() < 2 {
-            return Err(err(line_no, "DC needs a value"));
+            return Err(fail("DC needs a value".into()));
         }
-        Waveform::Dc(parse_value(toks[1]).map_err(|m| err(line_no, m))?)
+        Waveform::Dc(parse_value(toks[1]).map_err(&fail)?)
     } else if upper.contains("PWL(") {
-        let args = fn_args(body, "PWL").ok_or_else(|| err(line_no, "malformed PWL"))?;
+        let args = fn_args(body, "PWL").ok_or_else(|| fail("malformed PWL".into()))?;
         if args.len() % 2 != 0 || args.is_empty() {
-            return Err(err(line_no, "PWL needs time/value pairs"));
+            return Err(fail("PWL needs time/value pairs".into()));
         }
         let mut pts = Vec::with_capacity(args.len() / 2);
         for pair in args.chunks(2) {
-            let t = parse_value(pair[0]).map_err(|m| err(line_no, m))?;
-            let v = parse_value(pair[1]).map_err(|m| err(line_no, m))?;
+            let t = parse_value(pair[0]).map_err(&fail)?;
+            let v = parse_value(pair[1]).map_err(&fail)?;
             pts.push((t, v));
         }
         if !pts.windows(2).all(|w| w[0].0 < w[1].0) {
-            return Err(err(line_no, "PWL times must strictly increase"));
+            return Err(fail("PWL times must strictly increase".into()));
         }
         Waveform::Pwl(pts)
     } else if upper.contains("PULSE(") {
-        let args = fn_args(body, "PULSE").ok_or_else(|| err(line_no, "malformed PULSE"))?;
+        let args = fn_args(body, "PULSE").ok_or_else(|| fail("malformed PULSE".into()))?;
         if args.len() < 7 {
-            return Err(err(line_no, "PULSE needs 7 arguments"));
+            return Err(fail("PULSE needs 7 arguments".into()));
         }
         let v: Result<Vec<f64>, _> = args.iter().take(7).map(|a| parse_value(a)).collect();
-        let v = v.map_err(|m| err(line_no, m))?;
+        let v = v.map_err(&fail)?;
         Waveform::Pulse {
             v0: v[0],
             v1: v[1],
@@ -153,9 +194,9 @@ fn parse_source(line_no: usize, spec: &str) -> Result<(Waveform, Option<(f64, f6
         // Bare value: treat as DC.
         let toks: Vec<&str> = body.split_whitespace().collect();
         if toks.is_empty() {
-            return Err(err(line_no, "source needs a specification"));
+            return Err(fail("source needs a specification".into()));
         }
-        Waveform::Dc(parse_value(toks[0]).map_err(|m| err(line_no, m))?)
+        Waveform::Dc(parse_value(toks[0]).map_err(&fail)?)
     };
     Ok((wave, ac))
 }
@@ -191,8 +232,15 @@ pub fn from_spice(deck: &str) -> Result<Circuit, ParseError> {
         if lower.starts_with('.') {
             continue; // other dot-cards ignored
         }
-        let kind = line.chars().next().expect("nonempty").to_ascii_uppercase();
-        let toks: Vec<&str> = line.split_whitespace().collect();
+        let spans = token_spans(line);
+        let toks: Vec<&str> = spans.iter().map(|&(_, t)| t).collect();
+        let col_of = |k: usize| spans.get(k).map_or(1, |&(c, _)| c);
+        // `line` is non-empty (blank lines were skipped above), but stay
+        // graceful rather than assume.
+        let Some(kind) = toks.first().and_then(|t| t.chars().next()) else {
+            continue;
+        };
+        let kind = kind.to_ascii_uppercase();
         let name = &toks[0][1..];
         match kind {
             'R' | 'C' | 'L' => {
@@ -201,7 +249,7 @@ pub fn from_spice(deck: &str) -> Result<Circuit, ParseError> {
                 }
                 let a = ckt.node(toks[1]);
                 let b = ckt.node(toks[2]);
-                let v = parse_value(toks[3]).map_err(|m| err(line_no, m))?;
+                let v = parse_value(toks[3]).map_err(|m| err_at(line_no, col_of(3), m))?;
                 let id = match kind {
                     'R' => ckt.add_resistor(name, a, b, v),
                     'C' => ckt.add_capacitor(name, a, b, v),
@@ -218,11 +266,11 @@ pub fn from_spice(deck: &str) -> Result<Circuit, ParseError> {
                 }
                 let p = ckt.node(toks[1]);
                 let n = ckt.node(toks[2]);
-                let spec = line
-                    .splitn(4, char::is_whitespace)
-                    .nth(3)
-                    .expect("checked length");
-                let (wave, ac) = parse_source(line_no, spec)?;
+                // toks.len() >= 4 was checked, so the 4th token's span
+                // exists; the spec is everything from there to the end.
+                let spec_col = col_of(3);
+                let spec = &line[spec_col - 1..];
+                let (wave, ac) = parse_source(line_no, spec_col, spec)?;
                 let id = match (kind, ac) {
                     ('V', None) => ckt.add_vsource(name, p, n, wave),
                     ('V', Some((m, ph))) => ckt.add_vsource_ac(name, p, n, wave, m, ph),
@@ -242,7 +290,7 @@ pub fn from_spice(deck: &str) -> Result<Circuit, ParseError> {
                 let n = ckt.node(toks[2]);
                 let cp = ckt.node(toks[3]);
                 let cn = ckt.node(toks[4]);
-                let g = parse_value(toks[5]).map_err(|m| err(line_no, m))?;
+                let g = parse_value(toks[5]).map_err(|m| err_at(line_no, col_of(5), m))?;
                 if kind == 'E' {
                     ckt.add_vcvs(name, p, n, cp, cn, g)
                 } else {
@@ -261,21 +309,26 @@ pub fn from_spice(deck: &str) -> Result<Circuit, ParseError> {
 
     // Second pass: cards referencing other elements by name.
     for (line_no, line) in deferred {
-        let kind = line.chars().next().expect("nonempty").to_ascii_uppercase();
-        let toks: Vec<&str> = line.split_whitespace().collect();
+        let spans = token_spans(&line);
+        let toks: Vec<&str> = spans.iter().map(|&(_, t)| t).collect();
+        let col_of = |k: usize| spans.get(k).map_or(1, |&(c, _)| c);
+        let Some(kind) = toks.first().and_then(|t| t.chars().next()) else {
+            continue;
+        };
+        let kind = kind.to_ascii_uppercase();
         let name = &toks[0][1..];
         match kind {
             'K' => {
                 if toks.len() < 4 {
                     return Err(err(line_no, "K card needs two inductors and a coefficient"));
                 }
-                let &(l1, v1) = inductors
-                    .get(toks[1])
-                    .ok_or_else(|| err(line_no, format!("unknown inductor {}", toks[1])))?;
-                let &(l2, v2) = inductors
-                    .get(toks[2])
-                    .ok_or_else(|| err(line_no, format!("unknown inductor {}", toks[2])))?;
-                let k = parse_value(toks[3]).map_err(|m| err(line_no, m))?;
+                let &(l1, v1) = inductors.get(toks[1]).ok_or_else(|| {
+                    err_at(line_no, col_of(1), format!("unknown inductor {}", toks[1]))
+                })?;
+                let &(l2, v2) = inductors.get(toks[2]).ok_or_else(|| {
+                    err_at(line_no, col_of(2), format!("unknown inductor {}", toks[2]))
+                })?;
+                let k = parse_value(toks[3]).map_err(|m| err_at(line_no, col_of(3), m))?;
                 let m = k * (v1 * v2).sqrt();
                 ckt.add_mutual(name, l1, l2, m)
                     .map_err(|e| circuit_err(line_no, e))?;
@@ -286,10 +339,10 @@ pub fn from_spice(deck: &str) -> Result<Circuit, ParseError> {
                 }
                 let p = ckt.node(toks[1]);
                 let n = ckt.node(toks[2]);
-                let &sense = vsources
-                    .get(toks[3])
-                    .ok_or_else(|| err(line_no, format!("unknown V source {}", toks[3])))?;
-                let g = parse_value(toks[4]).map_err(|m| err(line_no, m))?;
+                let &sense = vsources.get(toks[3]).ok_or_else(|| {
+                    err_at(line_no, col_of(3), format!("unknown V source {}", toks[3]))
+                })?;
+                let g = parse_value(toks[4]).map_err(|m| err_at(line_no, col_of(4), m))?;
                 if kind == 'F' {
                     ckt.add_cccs(name, p, n, sense, g)
                 } else {
@@ -429,8 +482,8 @@ Rb b 0 1.0
             let mut c2 = back.clone();
             let n1 = c1.node(node_name);
             let n2 = c2.node(node_name);
-            let v1 = r1.voltage(n1);
-            let v2 = r2.voltage(n2);
+            let v1 = r1.voltage(n1).unwrap();
+            let v2 = r2.voltage(n2).unwrap();
             for (x, y) in v1.iter().zip(v2.iter()) {
                 assert!(
                     (x - y).abs() < 1e-6,
@@ -455,6 +508,25 @@ Rb b 0 1.0
 
         let e = from_spice("V1 a 0 PWL(1 0 0.5 1)\nRa a 0 1\n").unwrap_err();
         assert!(e.message.contains("strictly increase"));
+    }
+
+    #[test]
+    fn errors_carry_column_numbers() {
+        // The malformed value is the 4th token, starting at column 9.
+        let e = from_spice("R1 a  b  bogus\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.column, Some(10));
+        assert!(e.to_string().contains("col 10"));
+        assert!(e.message.contains("bogus"));
+
+        // Unknown inductor reference: column of the reference token.
+        let e = from_spice("L1 a 0 1n\nK1 L1 Lmissing 0.5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, Some(7));
+
+        // Source spec errors point at the start of the spec.
+        let e = from_spice("V1 a 0 DC oops\n").unwrap_err();
+        assert_eq!(e.column, Some(8));
     }
 
     #[test]

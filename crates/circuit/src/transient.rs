@@ -1,4 +1,5 @@
-//! Fixed-step transient analysis with companion models.
+//! Fixed-step transient analysis with companion models and **guarded
+//! stepping**.
 //!
 //! The circuits produced by the PEEC/VPEC builders are linear, so the MNA
 //! matrix is constant across the run: it is factored **once** and each time
@@ -9,14 +10,23 @@
 //! Integration methods: Backward Euler (robust, first order) and the
 //! trapezoidal rule (second order, SPICE's default — used for all paper
 //! reproductions).
+//!
+//! Robustness: every solved step is checked for non-finite values *before*
+//! element state is mutated. A NaN/∞ solution triggers a checkpointed
+//! retry — the step size halves (bounded number of times), the system is
+//! re-assembled and re-factored, and the step is re-taken from the last
+//! accepted state. The factorization itself runs through the bounded
+//! fallback chain in [`crate::diagnostics`].
 
-use crate::dc::solve_dc_with;
+use crate::dc::solve_dc_opts;
+use crate::diagnostics::{FaultInjection, TransientDiagnostics};
 use crate::elements::Element;
 use crate::error::CircuitError;
 use crate::mna::{add_source_rhs, assemble, MnaLayout};
 use crate::netlist::{Circuit, NodeId};
 use crate::result::{ResultMapping, TransientResult};
-use crate::solver::{Factored, SolverKind};
+use crate::solver::{FactorOptions, Factored};
+use crate::SolverKind;
 use std::collections::HashMap;
 
 /// Time-integration method.
@@ -28,6 +38,10 @@ pub enum Integrator {
     #[default]
     Trapezoidal,
 }
+
+/// Most halvings of `dt` the non-finite recovery will attempt before
+/// giving up with [`CircuitError::NonFiniteSolution`].
+const MAX_HALVINGS: usize = 6;
 
 /// Transient analysis specification.
 #[derive(Debug, Clone)]
@@ -43,6 +57,12 @@ pub struct TransientSpec {
     /// If set, record only these node voltages (memory saver for large
     /// circuits); otherwise every MNA unknown is recorded.
     pub probes: Option<Vec<NodeId>>,
+    /// Permit the Tikhonov-regularized stage of the factorization
+    /// fallback chain. Off by default so genuinely singular circuits
+    /// (floating nodes) stay typed errors.
+    pub regularize: bool,
+    /// Test-only fault injection at pipeline stage boundaries.
+    pub faults: FaultInjection,
 }
 
 impl TransientSpec {
@@ -54,6 +74,8 @@ impl TransientSpec {
             method: Integrator::Trapezoidal,
             solver: SolverKind::Auto,
             probes: None,
+            regularize: false,
+            faults: FaultInjection::none(),
         }
     }
 
@@ -77,12 +99,28 @@ impl TransientSpec {
         self.probes = Some(nodes);
         self
     }
+
+    /// Enables the Tikhonov-regularized factorization fallback stage.
+    #[must_use]
+    pub fn regularize(mut self, on: bool) -> Self {
+        self.regularize = on;
+        self
+    }
+
+    /// Arms fault injection (tests and the CLI's hidden `--inject` flag).
+    #[must_use]
+    pub fn fault_injection(mut self, f: FaultInjection) -> Self {
+        self.faults = f;
+        self
+    }
 }
 
 struct CapState {
     ia: Option<usize>,
     ib: Option<usize>,
-    geq: f64,
+    /// Capacitance — `Geq = coef·c` is recomputed from the *current* step
+    /// size so a recovery halving keeps the companion model consistent.
+    c: f64,
     v_prev: f64,
     i_prev: f64,
 }
@@ -96,14 +134,42 @@ struct IndState {
     v_prev: f64,
 }
 
+fn coef_for(method: Integrator, dt: f64) -> f64 {
+    match method {
+        Integrator::BackwardEuler => 1.0 / dt,
+        Integrator::Trapezoidal => 2.0 / dt,
+    }
+}
+
 /// Runs a fixed-step transient analysis from the DC operating point.
+///
+/// Convenience wrapper around [`run_transient_with_report`] that discards
+/// the diagnostics.
 ///
 /// # Errors
 ///
 /// * [`CircuitError::InvalidSpec`] for non-positive `t_stop`/`dt`.
 /// * [`CircuitError::SingularSystem`] if the DC or transient MNA system is
-///   singular.
+///   singular even after the fallback chain.
+/// * [`CircuitError::NonFiniteSolution`] if a step stays non-finite after
+///   the bounded step-halving retries.
 pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientResult, CircuitError> {
+    run_transient_with_report(ckt, spec).map(|(res, _)| res)
+}
+
+/// Runs a fixed-step transient analysis and reports how it went.
+///
+/// In addition to the waveforms this returns [`TransientDiagnostics`]:
+/// the factorization fallback record, the number of checkpointed retries
+/// after non-finite solutions, and the final (possibly halved) step size.
+///
+/// # Errors
+///
+/// Same conditions as [`run_transient`].
+pub fn run_transient_with_report(
+    ckt: &Circuit,
+    spec: &TransientSpec,
+) -> Result<(TransientResult, TransientDiagnostics), CircuitError> {
     if !spec.t_stop.is_finite() || spec.t_stop <= 0.0 {
         return Err(CircuitError::InvalidSpec {
             reason: "t_stop must be positive and finite",
@@ -116,22 +182,42 @@ pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientRes
     }
 
     let layout = MnaLayout::new(ckt);
-    let coef = match spec.method {
-        Integrator::BackwardEuler => 1.0 / spec.dt,
-        Integrator::Trapezoidal => 2.0 / spec.dt,
-    };
+    let mut dt = spec.dt;
+    let mut coef = coef_for(spec.method, dt);
     let trap = spec.method == Integrator::Trapezoidal;
 
-    let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
-    let factored = Factored::factor(&a, spec.solver).map_err(|e| match e {
+    let remap = |e: CircuitError| match e {
         CircuitError::SingularSystem { .. } => CircuitError::SingularSystem {
             analysis: "transient",
         },
         other => other,
-    })?;
+    };
+
+    let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+    let opts = FactorOptions {
+        kind: spec.solver,
+        regularize: spec.regularize,
+        fail_primary: spec.faults.fail_primary_factor,
+    };
+    let (mut factored, factor_diag) = Factored::factor_with(&a, opts).map_err(remap)?;
+    let mut diag = TransientDiagnostics {
+        factor: factor_diag,
+        final_dt: dt,
+        ..TransientDiagnostics::default()
+    };
 
     // Initial condition: DC operating point with sources at t = 0.
-    let dc = solve_dc_with(ckt, spec.solver)?;
+    // The operating point honors the caller's regularization opt-in (a
+    // DC-floating node can still start a meaningful transient), but never
+    // the fault injection — that targets the transient factorization.
+    let (dc, _) = solve_dc_opts(
+        ckt,
+        FactorOptions {
+            kind: spec.solver,
+            regularize: spec.regularize,
+            fail_primary: false,
+        },
+    )?;
     let mut x = dc.x;
     debug_assert_eq!(x.len(), layout.dim);
 
@@ -149,7 +235,7 @@ pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientRes
                 caps.push(CapState {
                     ia,
                     ib,
-                    geq: coef * c,
+                    c: *c,
                     v_prev: va - vb,
                     i_prev: 0.0, // steady state: no capacitor current
                 });
@@ -217,16 +303,23 @@ pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientRes
     times.push(0.0);
     data.push(record(&x));
 
+    let mut poison = spec.faults.poison_step;
+    let mut halvings = 0usize;
+    let mut accepted = 0usize;
+    let mut t = 0.0f64;
     let mut rhs = vec![0.0f64; layout.dim];
-    for step in 1..=n_steps {
-        let t = step as f64 * spec.dt;
+
+    // Step while more than half a step of simulated time remains — for an
+    // un-retried run this reproduces exactly `round(t_stop/dt)` steps.
+    while t + 0.5 * dt < spec.t_stop {
+        let t_new = t + dt;
         rhs.iter_mut().for_each(|v| *v = 0.0);
 
         // Independent sources at the new time point.
         for (idx, e) in ckt.elements().iter().enumerate() {
             match e {
                 Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
-                    add_source_rhs(&mut rhs, &layout, idx, e, wave.value(t));
+                    add_source_rhs(&mut rhs, &layout, idx, e, wave.value(t_new));
                 }
                 _ => {}
             }
@@ -234,7 +327,7 @@ pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientRes
         // Capacitor companion history: current source Geq·v_prev (+ i_prev
         // for trapezoidal) injected from b into a.
         for s in &caps {
-            let hist = s.geq * s.v_prev + if trap { s.i_prev } else { 0.0 };
+            let hist = coef * s.c * s.v_prev + if trap { s.i_prev } else { 0.0 };
             if let Some(ia) = s.ia {
                 rhs[ia] += hist;
             }
@@ -251,14 +344,44 @@ pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientRes
             rhs[s.br] = -(if trap { s.v_prev } else { 0.0 }) - coef * flux;
         }
 
-        let x_new = factored.solve(&rhs)?;
+        let mut x_new = factored.solve(&rhs)?;
+        if poison == Some(accepted) && !x_new.is_empty() {
+            x_new[0] = f64::NAN; // injected fault, consumed once
+            poison = None;
+        }
+
+        // Guard: never commit a non-finite state. Halve dt, re-assemble and
+        // re-factor, and re-take the step from the last accepted checkpoint
+        // (element states have not been touched yet).
+        if x_new.iter().any(|v| !v.is_finite()) {
+            if halvings >= MAX_HALVINGS {
+                return Err(CircuitError::NonFiniteSolution {
+                    analysis: "transient",
+                    step: accepted + 1,
+                });
+            }
+            halvings += 1;
+            dt /= 2.0;
+            coef = coef_for(spec.method, dt);
+            let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+            let retry_opts = FactorOptions {
+                kind: spec.solver,
+                regularize: spec.regularize,
+                fail_primary: false,
+            };
+            let (f, _) = Factored::factor_with(&a, retry_opts).map_err(remap)?;
+            factored = f;
+            diag.retries += 1;
+            diag.refactorizations += 1;
+            continue;
+        }
 
         // Update element states.
         for s in &mut caps {
             let va = s.ia.map_or(0.0, |i| x_new[i]);
             let vb = s.ib.map_or(0.0, |i| x_new[i]);
             let v_new = va - vb;
-            let i_new = s.geq * (v_new - s.v_prev) - if trap { s.i_prev } else { 0.0 };
+            let i_new = coef * s.c * (v_new - s.v_prev) - if trap { s.i_prev } else { 0.0 };
             s.v_prev = v_new;
             s.i_prev = i_new;
         }
@@ -269,15 +392,22 @@ pub fn run_transient(ckt: &Circuit, spec: &TransientSpec) -> Result<TransientRes
         }
 
         x = x_new;
+        t = t_new;
+        accepted += 1;
         times.push(t);
         data.push(record(&x));
     }
 
-    Ok(TransientResult {
-        times,
-        data,
-        mapping,
-    })
+    diag.final_dt = dt;
+    diag.steps = accepted;
+    Ok((
+        TransientResult {
+            times,
+            data,
+            mapping,
+        },
+        diag,
+    ))
 }
 
 #[cfg(test)]
@@ -319,7 +449,7 @@ mod tests {
         c.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
         let tau = 1e-6;
         let res = run_transient(&c, &TransientSpec::new(3.0 * tau, tau / 1000.0)).unwrap();
-        let v = res.voltage(out);
+        let v = res.voltage(out).unwrap();
         let t = res.time();
         // Compare a few points against the analytic solution.
         for &frac in &[0.5, 1.0, 2.0, 2.5] {
@@ -343,7 +473,7 @@ mod tests {
         // With Waveform::dc the DC op point already has the cap charged.
         let (c, out) = rc_circuit();
         let res = run_transient(&c, &TransientSpec::new(1e-6, 1e-9)).unwrap();
-        let v = res.voltage(out);
+        let v = res.voltage(out).unwrap();
         assert!((v[0] - 1.0).abs() < 1e-9, "cap pre-charged at t=0");
         assert!((v.last().unwrap() - 1.0).abs() < 1e-9);
     }
@@ -406,7 +536,7 @@ mod tests {
                 .integrator(Integrator::Trapezoidal),
         )
         .unwrap();
-        let v = res.voltage(top);
+        let v = res.voltage(top).unwrap();
         let vmax = v.iter().cloned().fold(f64::MIN, f64::max);
         let vmin = v.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
@@ -430,7 +560,7 @@ mod tests {
         c.add_mutual("K1", l1, l2, 0.8e-9).unwrap();
         c.add_resistor("RL", sec, Circuit::GROUND, 50.0).unwrap();
         let res = run_transient(&c, &TransientSpec::new(2e-10, 1e-13)).unwrap();
-        let v_sec = res.voltage(sec);
+        let v_sec = res.voltage(sec).unwrap();
         let peak = v_sec.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
         assert!(peak > 1e-3, "mutual coupling must induce secondary voltage, got {peak}");
     }
@@ -443,7 +573,7 @@ mod tests {
             &TransientSpec::new(1e-7, 1e-9).probes(vec![out]),
         )
         .unwrap();
-        assert_eq!(res.voltage(out).len(), res.len());
+        assert_eq!(res.voltage(out).unwrap().len(), res.len());
         assert!(res.branch_current(crate::ElementId(0)).is_none());
     }
 
@@ -465,6 +595,52 @@ mod tests {
             &TransientSpec::new(1e-6, 1e-9).integrator(Integrator::BackwardEuler),
         )
         .unwrap();
-        assert!((res.voltage(out).last().unwrap() - 1.0).abs() < 1e-6);
+        assert!((res.voltage(out).unwrap().last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clean_run_reports_clean_diagnostics() {
+        let (c, _) = rc_circuit();
+        let (res, diag) =
+            run_transient_with_report(&c, &TransientSpec::new(1e-7, 1e-9)).unwrap();
+        assert_eq!(diag.retries, 0);
+        assert_eq!(diag.refactorizations, 0);
+        assert_eq!(diag.final_dt, 1e-9);
+        assert_eq!(diag.steps, res.len() - 1);
+        assert!(!diag.degraded());
+    }
+
+    #[test]
+    fn poisoned_step_recovers_via_halving() {
+        let (c, out) = rc_circuit();
+        let spec = TransientSpec::new(1e-7, 1e-9).fault_injection(FaultInjection {
+            poison_step: Some(10),
+            ..FaultInjection::none()
+        });
+        let (res, diag) = run_transient_with_report(&c, &spec).unwrap();
+        assert_eq!(diag.retries, 1, "one NaN, one halving");
+        assert_eq!(diag.refactorizations, 1);
+        assert!((diag.final_dt - 0.5e-9).abs() < 1e-20);
+        assert!(diag.degraded());
+        // The waveform stays physical despite the injected fault.
+        let v = res.voltage(out).unwrap();
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn injected_factor_failure_engages_fallback() {
+        let (c, out) = rc_circuit();
+        let spec = TransientSpec::new(1e-7, 1e-9)
+            .solver(SolverKind::Sparse)
+            .fault_injection(FaultInjection {
+                fail_primary_factor: true,
+                ..FaultInjection::none()
+            });
+        let (res, diag) = run_transient_with_report(&c, &spec).unwrap();
+        assert!(diag.factor.used_fallback());
+        assert!(diag.degraded());
+        let v = res.voltage(out).unwrap();
+        assert!((v.last().unwrap() - 1.0).abs() < 1e-6);
     }
 }

@@ -1,21 +1,21 @@
-//! Property-based tests of the MNA engine on randomly generated passive
+//! Property-style tests of the MNA engine on randomly generated passive
 //! RC/RLC ladders: physical invariants that must hold for *any* passive
-//! network, regardless of topology or element values.
+//! network, regardless of topology or element values. Inputs come from
+//! the workspace's deterministic [`XorShift64`] generator so the suite
+//! is reproducible and needs no external crates.
 
-use proptest::prelude::*;
 use vpec_circuit::ac::{run_ac, AcSpec};
 use vpec_circuit::dc::solve_dc;
 use vpec_circuit::spice_in::from_spice;
 use vpec_circuit::spice_out::to_spice;
 use vpec_circuit::transient::{run_transient, Integrator, TransientSpec};
 use vpec_circuit::{Circuit, NodeId, Waveform};
+use vpec_numerics::rng::XorShift64;
+
+const CASES: usize = 40;
 
 /// A random RC ladder of `n` sections driven by a `v_src` step.
-fn ladder(
-    rs: &[f64],
-    cs: &[f64],
-    v_src: f64,
-) -> (Circuit, Vec<NodeId>) {
+fn ladder(rs: &[f64], cs: &[f64], v_src: f64) -> (Circuit, Vec<NodeId>) {
     let mut ckt = Circuit::new();
     let mut prev = ckt.node("in");
     ckt.add_vsource("src", prev, Circuit::GROUND, Waveform::step(v_src, 1e-12))
@@ -32,22 +32,29 @@ fn ladder(
     (ckt, nodes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// Random section values: resistances in `[10, 10k)` Ω and capacitances
+/// in `[0.1, 100)` pF.
+fn random_sections(rng: &mut XorShift64, max_n: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = rng.range_usize(1, max_n + 1);
+    let rs: Vec<f64> = (0..n).map(|_| rng.range_f64(10.0, 10_000.0)).collect();
+    let cs: Vec<f64> = (0..n)
+        .map(|_| rng.range_f64(0.1, 100.0) * 1e-12)
+        .collect();
+    (rs, cs)
+}
 
-    /// A passive RC ladder driven by a positive step never exceeds the
-    /// source voltage and never goes negative (no energy creation).
-    /// Checked with Backward Euler: the L-stable integrator preserves the
-    /// monotone bound even when the ladder's time constants span decades
-    /// (the trapezoidal rule would ring on under-resolved stiff nodes —
-    /// a numerical artifact, not energy creation).
-    #[test]
-    fn rc_ladder_voltages_bounded(
-        rs in proptest::collection::vec(10.0f64..10_000.0, 1..6),
-        cs_pf in proptest::collection::vec(0.1f64..100.0, 6),
-        v_src in 0.1f64..10.0,
-    ) {
-        let cs: Vec<f64> = cs_pf.iter().take(rs.len()).map(|c| c * 1e-12).collect();
+/// A passive RC ladder driven by a positive step never exceeds the
+/// source voltage and never goes negative (no energy creation).
+/// Checked with Backward Euler: the L-stable integrator preserves the
+/// monotone bound even when the ladder's time constants span decades
+/// (the trapezoidal rule would ring on under-resolved stiff nodes —
+/// a numerical artifact, not energy creation).
+#[test]
+fn rc_ladder_voltages_bounded() {
+    let mut rng = XorShift64::new(0x2001);
+    for _ in 0..CASES {
+        let (rs, cs) = random_sections(&mut rng, 5);
+        let v_src = rng.range_f64(0.1, 10.0);
         let (ckt, nodes) = ladder(&rs, &cs, v_src);
         // Simulate long enough relative to the largest time constant.
         let tau: f64 = rs.iter().sum::<f64>() * cs.iter().sum::<f64>();
@@ -55,22 +62,22 @@ proptest! {
             .integrator(Integrator::BackwardEuler);
         let res = run_transient(&ckt, &spec).expect("passive circuit simulates");
         for &n in &nodes {
-            for v in res.voltage(n) {
-                prop_assert!(v >= -1e-9, "monotone RC ladder voltage went negative: {v}");
-                prop_assert!(v <= v_src * (1.0 + 1e-9), "RC ladder exceeded source: {v}");
+            for v in res.voltage(n).expect("recorded") {
+                assert!(v >= -1e-9, "monotone RC ladder voltage went negative: {v}");
+                assert!(v <= v_src * (1.0 + 1e-9), "RC ladder exceeded source: {v}");
             }
         }
     }
+}
 
-    /// Every node of the ladder settles to the DC solution of the same
-    /// netlist.
-    #[test]
-    fn transient_settles_to_dc(
-        rs in proptest::collection::vec(10.0f64..10_000.0, 1..5),
-        cs_pf in proptest::collection::vec(0.1f64..50.0, 5),
-        v_src in 0.1f64..5.0,
-    ) {
-        let cs: Vec<f64> = cs_pf.iter().take(rs.len()).map(|c| c * 1e-12).collect();
+/// Every node of the ladder settles to the DC solution of the same
+/// netlist.
+#[test]
+fn transient_settles_to_dc() {
+    let mut rng = XorShift64::new(0x2002);
+    for _ in 0..CASES {
+        let (rs, cs) = random_sections(&mut rng, 4);
+        let v_src = rng.range_f64(0.1, 5.0);
         let (ckt, nodes) = ladder(&rs, &cs, v_src);
         let tau: f64 = rs.iter().sum::<f64>() * cs.iter().sum::<f64>();
         let window = tau.max(1e-10) * 20.0;
@@ -92,55 +99,72 @@ proptest! {
         }
         let dc = solve_dc(&dc_ckt).expect("solvable");
         for &n in &nodes {
-            let settled = *res.voltage(n).last().expect("nonempty");
+            let settled = *res.voltage(n).expect("recorded").last().expect("nonempty");
             let expected = dc.voltage(n);
-            prop_assert!(
+            assert!(
                 (settled - expected).abs() < 1e-3 * v_src,
                 "node {n:?}: settled {settled} vs DC {expected}"
             );
         }
     }
+}
 
-    /// Backward Euler and trapezoidal agree on the final (steady-state)
-    /// value even though their trajectories differ.
-    #[test]
-    fn integrators_agree_at_steady_state(
-        r in 50.0f64..5000.0,
-        c_pf in 0.5f64..50.0,
-        v_src in 0.5f64..3.0,
-    ) {
-        let (ckt, nodes) = ladder(&[r], &[c_pf * 1e-12], v_src);
-        let tau = r * c_pf * 1e-12;
+/// Backward Euler and trapezoidal agree on the final (steady-state)
+/// value even though their trajectories differ.
+#[test]
+fn integrators_agree_at_steady_state() {
+    let mut rng = XorShift64::new(0x2003);
+    for _ in 0..CASES {
+        let r = rng.range_f64(50.0, 5000.0);
+        let c = rng.range_f64(0.5, 50.0) * 1e-12;
+        let v_src = rng.range_f64(0.5, 3.0);
+        let (ckt, nodes) = ladder(&[r], &[c], v_src);
+        let tau = r * c;
         let spec_be = TransientSpec::new(tau * 15.0, tau / 100.0)
             .integrator(Integrator::BackwardEuler);
         let spec_tr = TransientSpec::new(tau * 15.0, tau / 100.0)
             .integrator(Integrator::Trapezoidal);
-        let vb = *run_transient(&ckt, &spec_be).expect("ok").voltage(nodes[0]).last().expect("nonempty");
-        let vt = *run_transient(&ckt, &spec_tr).expect("ok").voltage(nodes[0]).last().expect("nonempty");
-        prop_assert!((vb - vt).abs() < 1e-4 * v_src, "BE {vb} vs trap {vt}");
+        let vb = *run_transient(&ckt, &spec_be)
+            .expect("ok")
+            .voltage(nodes[0])
+            .expect("recorded")
+            .last()
+            .expect("nonempty");
+        let vt = *run_transient(&ckt, &spec_tr)
+            .expect("ok")
+            .voltage(nodes[0])
+            .expect("recorded")
+            .last()
+            .expect("nonempty");
+        assert!((vb - vt).abs() < 1e-4 * v_src, "BE {vb} vs trap {vt}");
     }
+}
 
-    /// Any circuit this generator produces survives a SPICE-deck roundtrip
-    /// (export → parse) with identical structure and identical DC
-    /// solution at every node.
-    #[test]
-    fn spice_roundtrip_preserves_dc(
-        rs in proptest::collection::vec(10.0f64..100_000.0, 1..7),
-        cs_pf in proptest::collection::vec(0.1f64..100.0, 7),
-        mutuals in proptest::collection::vec(0.1f64..0.9, 0..3),
-        v_src in -5.0f64..5.0,
-    ) {
-        let cs: Vec<f64> = cs_pf.iter().take(rs.len()).map(|c| c * 1e-12).collect();
+/// Any circuit this generator produces survives a SPICE-deck roundtrip
+/// (export → parse) with identical structure and identical DC
+/// solution at every node.
+#[test]
+fn spice_roundtrip_preserves_dc() {
+    let mut rng = XorShift64::new(0x2004);
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 7);
+        let rs: Vec<f64> = (0..n).map(|_| rng.range_f64(10.0, 100_000.0)).collect();
+        let cs: Vec<f64> = (0..n)
+            .map(|_| rng.range_f64(0.1, 100.0) * 1e-12)
+            .collect();
+        let v_src = rng.range_f64(-5.0, 5.0);
         let (mut ckt, nodes) = ladder(&rs, &cs, v_src);
         // Sprinkle in coupled inductors grounded at ladder nodes.
         let mut l_ids = Vec::new();
-        for (k, &n) in nodes.iter().enumerate() {
+        for (k, &nn) in nodes.iter().enumerate() {
             let id = ckt
-                .add_inductor(&format!("lx{k}"), n, Circuit::GROUND, 1e-9 * (k + 1) as f64)
+                .add_inductor(&format!("lx{k}"), nn, Circuit::GROUND, 1e-9 * (k + 1) as f64)
                 .expect("valid");
             l_ids.push(id);
         }
-        for (k, &coef) in mutuals.iter().enumerate() {
+        let n_mutuals = rng.range_usize(0, 3);
+        for k in 0..n_mutuals {
+            let coef = rng.range_f64(0.1, 0.9);
             if l_ids.len() >= 2 {
                 let a = k % l_ids.len();
                 let b = (k + 1) % l_ids.len();
@@ -152,35 +176,35 @@ proptest! {
         }
         let deck = to_spice(&ckt, "roundtrip property");
         let back = from_spice(&deck).expect("own decks always parse");
-        prop_assert_eq!(back.element_count(), ckt.element_count());
-        prop_assert_eq!(back.node_count(), ckt.node_count());
+        assert_eq!(back.element_count(), ckt.element_count());
+        assert_eq!(back.node_count(), ckt.node_count());
         let dc_a = solve_dc(&ckt).expect("solvable");
         let dc_b = solve_dc(&back).expect("solvable");
         let mut ckt2 = ckt.clone();
         let mut back2 = back.clone();
-        for &n in &nodes {
+        for &nn in &nodes {
             // Node ids may be assigned in a different order after parsing:
             // compare by name.
-            let name = ckt2.node_name(n).to_string();
+            let name = ckt2.node_name(nn).to_string();
             let n_a = ckt2.node(&name);
             let n_b = back2.node(&name);
             let (va, vb) = (dc_a.voltage(n_a), dc_b.voltage(n_b));
-            prop_assert!(
+            assert!(
                 (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
                 "DC mismatch at {name}: {va} vs {vb}"
             );
         }
     }
+}
 
-    /// AC magnitude of a passive divider never exceeds the source
-    /// magnitude, and decreases monotonically along the ladder.
-    #[test]
-    fn ac_gain_bounded_by_one(
-        rs in proptest::collection::vec(10.0f64..10_000.0, 1..5),
-        cs_pf in proptest::collection::vec(0.1f64..50.0, 5),
-        freq in 1.0e3f64..1.0e10,
-    ) {
-        let cs: Vec<f64> = cs_pf.iter().take(rs.len()).map(|c| c * 1e-12).collect();
+/// AC magnitude of a passive divider never exceeds the source
+/// magnitude, and decreases monotonically along the ladder.
+#[test]
+fn ac_gain_bounded_by_one() {
+    let mut rng = XorShift64::new(0x2005);
+    for _ in 0..CASES {
+        let (rs, cs) = random_sections(&mut rng, 4);
+        let freq = 10f64.powf(rng.range_f64(3.0, 10.0));
         let mut ckt = Circuit::new();
         let mut prev = ckt.node("in");
         ckt.add_vsource_ac("src", prev, Circuit::GROUND, Waveform::dc(0.0), 1.0, 0.0)
@@ -197,8 +221,8 @@ proptest! {
         let res = run_ac(&ckt, &AcSpec::points(vec![freq])).expect("ok");
         let mut last = 1.0 + 1e-9;
         for &n in &nodes {
-            let m = res.magnitude(n)[0];
-            prop_assert!(m <= last, "RC ladder gain must decrease along the chain");
+            let m = res.magnitude(n).expect("in circuit")[0];
+            assert!(m <= last, "RC ladder gain must decrease along the chain");
             last = m;
         }
     }

@@ -6,9 +6,10 @@ use std::fmt::Write as _;
 use vpec_circuit::metrics::peak_abs;
 use vpec_circuit::spice_out::to_spice;
 use vpec_circuit::TransientSpec;
-use vpec_core::harness::Experiment;
+use vpec_core::harness::{Experiment, ModelKind};
 use vpec_core::noise::noise_scan;
-use vpec_core::DriveConfig;
+use vpec_core::repair::DEFAULT_MARGIN;
+use vpec_core::{repair_passivity, DriveConfig};
 use vpec_extract::ExtractionConfig;
 use vpec_geometry::{BusSpec, SpiralSpec};
 
@@ -136,6 +137,18 @@ pub fn model(args: &ParsedArgs) -> Result<String, CliError> {
             margin.condition()
         );
     }
+    // Sparsified kinds run through the passivity-repair pass at build
+    // time; report what that pass would do so accuracy cost is visible.
+    if matches!(
+        args.kind,
+        ModelKind::TVpecGeometric { .. }
+            | ModelKind::TVpecNumerical { .. }
+            | ModelKind::WVpecGeometric { .. }
+            | ModelKind::WVpecNumerical { .. }
+    ) {
+        let (_, rep) = repair_passivity(&model, DEFAULT_MARGIN);
+        let _ = writeln!(out, "passivity repair: {}", rep.summary());
+    }
     Ok(out)
 }
 
@@ -149,7 +162,7 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
     let exp = build_experiment(args)?;
     let built = exp.build(args.kind).map_err(runtime)?;
     let spec = TransientSpec::new(args.t_stop, args.dt);
-    let (res, secs) = built.run_transient(&spec).map_err(runtime)?;
+    let (res, report, secs) = built.run_transient_with_report(&spec).map_err(runtime)?;
     let nets: Vec<usize> = if args.probes.is_empty() {
         (0..exp.layout.nets().len()).collect()
     } else {
@@ -169,8 +182,11 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         res.len(),
         secs * 1e3
     );
+    for line in report.lines() {
+        let _ = writeln!(out, "{line}");
+    }
     for &k in &nets {
-        let w = built.far_voltage(&res, k);
+        let w = built.far_voltage(&res, k).map_err(runtime)?;
         let _ = writeln!(
             out,
             "net {k}: far-end peak |V| = {:.3} mV, final = {:+.4} V",
@@ -185,7 +201,11 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
             let _ = write!(csv, ",net{k}_far_v");
         }
         csv.push('\n');
-        let waves: Vec<Vec<f64>> = nets.iter().map(|&k| built.far_voltage(&res, k)).collect();
+        let waves: Vec<Vec<f64>> = nets
+            .iter()
+            .map(|&k| built.far_voltage(&res, k))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(runtime)?;
         for (i, &t) in res.time().iter().enumerate() {
             let _ = write!(csv, "{t:.6e}");
             for w in &waves {
@@ -314,6 +334,11 @@ mod tests {
         let out = run_line("model --bits 6 --kind wvpec-g:3").unwrap();
         assert!(out.contains("positive definite (passive): true"));
         assert!(out.contains("sparse factor"));
+        // Sparsified kinds report what the repair pass did (here: nothing).
+        assert!(out.contains("passivity repair: passive, no repair needed"));
+        // Non-sparsified kinds skip the repair line entirely.
+        let full = run_line("model --bits 6 --kind vpec-full").unwrap();
+        assert!(!full.contains("passivity repair"));
         // PEEC has no Ĝ.
         assert!(run_line("model --bits 4 --kind peec").is_err());
     }

@@ -90,5 +90,11 @@ COMMON OPTIONS:
   --threshold V     noise-margin threshold in volts (noise command)
   -o FILE           output file (simulate: CSV; export: SPICE deck)
 
+DIAGNOSTICS:
+  model prints a passivity-repair summary for sparsified kinds (tvpec-*,
+  wvpec-*). simulate prints solve diagnostics whenever a run was degraded:
+  passivity repairs applied at build time, factorization fallbacks, and
+  checkpointed transient retries at a reduced time step.
+
 Values accept SPICE suffixes: 1p, 0.5n, 10m, 2k, 10meg, ...
 ";

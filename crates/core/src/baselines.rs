@@ -395,11 +395,11 @@ mod tests {
             };
             let peec = exp.build(crate::harness::ModelKind::Peec).unwrap();
             let (rp, _) = peec.run_transient(&spec).unwrap();
-            let wp = rp.voltage(peec.model.far_nodes[signals[1]]);
+            let wp = rp.voltage(peec.model.far_nodes[signals[1]]).unwrap();
             let (mc, signal_nets) = return_limited(&layout, &para, &drive).unwrap();
             let pos = signal_nets.iter().position(|&k| k == signals[1]).unwrap();
             let rr = run_transient(&mc.circuit, &spec).unwrap();
-            let wr = rr.voltage(mc.far_nodes[pos]);
+            let wr = rr.voltage(mc.far_nodes[pos]).unwrap();
             let d = WaveformDiff::compare(&wp, &wr);
             d.avg_abs / peak_abs(&wp).max(1e-12)
         };

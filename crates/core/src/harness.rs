@@ -4,14 +4,15 @@
 
 use crate::lower::build_vpec;
 use crate::peec::{build_peec, ModelCircuit};
+use crate::repair::{repair_passivity, RepairReport, DEFAULT_MARGIN};
 use crate::truncation::{truncate_geometric, truncate_numerical};
 use crate::windowed::{windowed_geometric, windowed_numerical};
 use crate::{CoreError, DriveConfig, VpecModel};
 use std::time::Instant;
 use vpec_circuit::ac::{run_ac, AcSpec};
 use vpec_circuit::spice_out::netlist_size;
-use vpec_circuit::transient::run_transient;
-use vpec_circuit::{AcResult, TransientResult, TransientSpec};
+use vpec_circuit::transient::{run_transient, run_transient_with_report};
+use vpec_circuit::{AcResult, TransientDiagnostics, TransientResult, TransientSpec};
 use vpec_extract::{extract, ExtractionConfig, Parasitics};
 use vpec_geometry::Layout;
 
@@ -132,11 +133,17 @@ impl Experiment {
 
     /// Builds the netlist for any model kind, with statistics.
     ///
+    /// Sparsified VPEC kinds (tVPEC/wVPEC) run through a passivity check:
+    /// a model that lost strict diagonal dominance is repaired by diagonal
+    /// compensation ([`crate::repair`]) before lowering, and the repair
+    /// magnitude is recorded on the returned [`BuiltModel`].
+    ///
     /// # Errors
     ///
     /// Any model- or netlist-construction failure.
     pub fn build(&self, kind: ModelKind) -> Result<BuiltModel, CoreError> {
         let t0 = Instant::now();
+        let mut repair: Option<RepairReport> = None;
         let (circuit, sparse_factor) = match kind {
             ModelKind::Peec => (
                 build_peec(&self.layout, &self.parasitics, &self.drive)?,
@@ -153,7 +160,18 @@ impl Experiment {
                 )
             }
             _ => {
-                let (model, _) = self.vpec_model(kind)?;
+                let (mut model, _) = self.vpec_model(kind)?;
+                if matches!(
+                    kind,
+                    ModelKind::TVpecGeometric { .. }
+                        | ModelKind::TVpecNumerical { .. }
+                        | ModelKind::WVpecGeometric { .. }
+                        | ModelKind::WVpecNumerical { .. }
+                ) {
+                    let (repaired, report) = repair_passivity(&model, DEFAULT_MARGIN);
+                    model = repaired;
+                    repair = Some(report);
+                }
                 let sf = model.sparse_factor();
                 (
                     build_vpec(&self.layout, &self.parasitics, &model, &self.drive)?,
@@ -167,7 +185,52 @@ impl Experiment {
             model: circuit,
             build_seconds,
             sparse_factor,
+            repair,
         })
+    }
+}
+
+/// Everything the pipeline wants to tell the user about how a solve went:
+/// whether the model needed passivity repair and how the guarded transient
+/// behaved (factorization fallbacks, checkpointed retries).
+#[derive(Debug, Clone, Default)]
+pub struct SolveReport {
+    /// Passivity-repair record (`None` for kinds that never need repair:
+    /// PEEC, full/localized VPEC, shift-truncated).
+    pub repair: Option<RepairReport>,
+    /// Guarded-transient diagnostics (`None` until a transient ran).
+    pub transient: Option<TransientDiagnostics>,
+}
+
+impl SolveReport {
+    /// `true` if anything beyond the happy path happened.
+    pub fn degraded(&self) -> bool {
+        self.repair.as_ref().is_some_and(|r| r.repaired())
+            || self.transient.as_ref().is_some_and(|t| t.degraded())
+    }
+
+    /// Human-readable report lines (empty for a clean, no-repair run).
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(r) = &self.repair {
+            if r.repaired() {
+                out.push(format!("passivity repair: {}", r.summary()));
+            }
+        }
+        if let Some(t) = &self.transient {
+            if t.factor.used_fallback() {
+                out.push(format!("factorization: {}", t.factor.summary()));
+            }
+            if t.retries > 0 {
+                out.push(format!(
+                    "transient recovery: {} retr{}, final dt {:.3e} s",
+                    t.retries,
+                    if t.retries == 1 { "y" } else { "ies" },
+                    t.final_dt
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -182,6 +245,9 @@ pub struct BuiltModel {
     pub build_seconds: f64,
     /// Sparse factor for VPEC models (`None` for PEEC).
     pub sparse_factor: Option<f64>,
+    /// Passivity-repair record for sparsified VPEC kinds (`None` when the
+    /// kind never needs repair).
+    pub repair: Option<RepairReport>,
 }
 
 impl BuiltModel {
@@ -200,6 +266,26 @@ impl BuiltModel {
         Ok((res, t0.elapsed().as_secs_f64()))
     }
 
+    /// Runs a transient analysis and aggregates a [`SolveReport`]: the
+    /// build-time passivity repair plus the guarded integrator's
+    /// diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn run_transient_with_report(
+        &self,
+        spec: &TransientSpec,
+    ) -> Result<(TransientResult, SolveReport, f64), CoreError> {
+        let t0 = Instant::now();
+        let (res, diag) = run_transient_with_report(&self.model.circuit, spec)?;
+        let report = SolveReport {
+            repair: self.repair.clone(),
+            transient: Some(diag),
+        };
+        Ok((res, report, t0.elapsed().as_secs_f64()))
+    }
+
     /// Runs an AC sweep, returning the result and wall-clock seconds.
     ///
     /// # Errors
@@ -212,8 +298,22 @@ impl BuiltModel {
     }
 
     /// Far-end voltage waveform of net `k` from a transient result.
-    pub fn far_voltage(&self, res: &TransientResult, k: usize) -> Vec<f64> {
-        res.voltage(self.model.far_nodes[k])
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a net index out of range;
+    /// propagates [`vpec_circuit::CircuitError::NodeNotRecorded`] when the
+    /// far node was excluded from the probe list.
+    pub fn far_voltage(&self, res: &TransientResult, k: usize) -> Result<Vec<f64>, CoreError> {
+        let node = self
+            .model
+            .far_nodes
+            .get(k)
+            .copied()
+            .ok_or(CoreError::InvalidParameter {
+                reason: "net index out of range for this model",
+            })?;
+        Ok(res.voltage(node)?)
     }
 
     /// SPICE netlist size in bytes — Fig. 8(b)'s model-size metric.
@@ -281,7 +381,7 @@ mod tests {
             assert!(built.netlist_bytes() > 0);
             let (res, secs) = built.run_transient(&spec).unwrap();
             assert!(secs >= 0.0);
-            let v = built.far_voltage(&res, 0);
+            let v = built.far_voltage(&res, 0).unwrap();
             assert!(
                 v.iter().all(|x| x.is_finite()),
                 "{kind:?} produced non-finite output"
@@ -317,8 +417,33 @@ mod tests {
         let (res, _) = built
             .run_ac(&AcSpec::points(vec![1e6, 1e9]))
             .unwrap();
-        let mag = res.magnitude(built.model.far_nodes[0]);
+        let mag = res.magnitude(built.model.far_nodes[0]).unwrap();
         assert_eq!(mag.len(), 2);
         assert!(mag.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn solve_report_is_clean_for_healthy_models() {
+        let exp = experiment(4);
+        let built = exp.build(ModelKind::WVpecGeometric { b: 2 }).unwrap();
+        // Windowed models carry a repair record (usually a no-op: the max
+        // merge heuristic preserves dominance).
+        assert!(built.repair.is_some());
+        let (_, report, _) = built
+            .run_transient_with_report(&TransientSpec::new(0.1e-9, 1e-12))
+            .unwrap();
+        assert!(report.transient.is_some());
+        assert!(!report.degraded(), "healthy run must not be degraded");
+        assert!(report.lines().is_empty());
+    }
+
+    #[test]
+    fn far_voltage_out_of_range_is_typed_error() {
+        let exp = experiment(2);
+        let built = exp.build(ModelKind::VpecFull).unwrap();
+        let (res, _) = built
+            .run_transient(&TransientSpec::new(0.05e-9, 1e-12))
+            .unwrap();
+        assert!(built.far_voltage(&res, 99).is_err());
     }
 }

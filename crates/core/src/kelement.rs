@@ -302,7 +302,7 @@ mod tests {
             let (ac, _) = built.run_ac(&AcSpec::points(vec![f])).unwrap();
             let x = k.solve_ac(f).unwrap();
             for net in 0..4 {
-                let reference = ac.magnitude(built.model.far_nodes[net])[0];
+                let reference = ac.magnitude(built.model.far_nodes[net]).unwrap()[0];
                 let knodal = x[k.far_node(net)].abs();
                 assert!(
                     (reference - knodal).abs() < 0.02 * reference.max(1e-3),
@@ -322,7 +322,7 @@ mod tests {
         let built = exp.build(ModelKind::VpecFull).unwrap();
         let f_low = 1.0e-2; // 10 mHz: deep in the 1/s regime
         let (ac, _) = built.run_ac(&AcSpec::points(vec![f_low])).unwrap();
-        let mna_val = ac.magnitude(built.model.far_nodes[0])[0];
+        let mna_val = ac.magnitude(built.model.far_nodes[0]).unwrap()[0];
         assert!(
             (mna_val - 1.0).abs() < 1e-3,
             "MNA keeps DC info: {mna_val}"

@@ -49,6 +49,7 @@ pub mod kelement;
 pub mod lower;
 pub mod noise;
 pub mod peec;
+pub mod repair;
 pub mod truncation;
 pub mod windowed;
 
@@ -57,6 +58,8 @@ mod error;
 mod model;
 
 pub use drive::DriveConfig;
-pub use lower::LoweringStyle;
 pub use error::CoreError;
+pub use harness::SolveReport;
+pub use lower::LoweringStyle;
 pub use model::{PassivityReport, VpecModel};
+pub use repair::{repair_passivity, RepairReport};

@@ -191,8 +191,8 @@ mod tests {
         let rp = run_transient(&peec.circuit, &spec).unwrap();
         let rv = run_transient(&vpec.circuit, &spec).unwrap();
         for net in 0..3 {
-            let wp = rp.voltage(peec.far_nodes[net]);
-            let wv = rv.voltage(vpec.far_nodes[net]);
+            let wp = rp.voltage(peec.far_nodes[net]).unwrap();
+            let wv = rv.voltage(vpec.far_nodes[net]).unwrap();
             let d = WaveformDiff::compare(&wp, &wv);
             assert!(
                 d.max_pct_of_peak() < 1.0,
@@ -210,7 +210,7 @@ mod tests {
         let trunc = full.retain(|i, j| j - i == 1);
         let mc = build_vpec(&layout, &para, &trunc, &drive).unwrap();
         let res = run_transient(&mc.circuit, &TransientSpec::new(0.2e-9, 0.5e-12)).unwrap();
-        let v = res.voltage(mc.far_nodes[0]);
+        let v = res.voltage(mc.far_nodes[0]).unwrap();
         assert!((v.last().unwrap() - 1.0).abs() < 0.02);
         assert!(v.iter().all(|x| x.is_finite()));
     }
@@ -247,8 +247,8 @@ mod tests {
         let rc = run_transient(&compact.circuit, &spec).unwrap();
         for net in 0..4 {
             let d = WaveformDiff::compare(
-                &rp.voltage(paper.far_nodes[net]),
-                &rc.voltage(compact.far_nodes[net]),
+                &rp.voltage(paper.far_nodes[net]).unwrap(),
+                &rc.voltage(compact.far_nodes[net]).unwrap(),
             );
             assert!(
                 d.max_abs < 1e-9,

@@ -79,7 +79,7 @@ pub fn noise_scan(
         if exp.drive.is_aggressor(net) || exp.layout.nets()[net].is_ground() {
             continue;
         }
-        let w = built.far_voltage(&res, net);
+        let w = built.far_voltage(&res, net)?;
         let peak = peak_abs(&w);
         let peak_idx = w
             .iter()
@@ -131,7 +131,7 @@ pub fn worst_aggressor_alignment(
         sub.drive = sub.drive.aggressors(vec![agg]);
         let built = sub.build(kind)?;
         let (res, _) = built.run_transient(spec)?;
-        let peak = peak_abs(&built.far_voltage(&res, victim));
+        let peak = peak_abs(&built.far_voltage(&res, victim)?);
         if peak > worst.1 {
             worst = (agg, peak);
         }

@@ -222,8 +222,8 @@ mod tests {
     fn aggressor_drives_and_victims_see_noise() {
         let (m, _) = build(3);
         let res = run_transient(&m.circuit, &TransientSpec::new(0.3e-9, 0.5e-12)).unwrap();
-        let v_agg = res.voltage(m.far_nodes[0]);
-        let v_vic = res.voltage(m.far_nodes[1]);
+        let v_agg = res.voltage(m.far_nodes[0]).unwrap();
+        let v_vic = res.voltage(m.far_nodes[1]).unwrap();
         // Aggressor settles to 1 V.
         assert!((v_agg.last().unwrap() - 1.0).abs() < 0.02);
         // Victim sees transient crosstalk noise but returns to ~0.
@@ -263,7 +263,7 @@ mod tests {
         let para = extract(&layout, &ExtractionConfig::paper_default());
         let m = build_peec(&layout, &para, &DriveConfig::paper_default()).unwrap();
         let res = run_transient(&m.circuit, &TransientSpec::new(0.3e-9, 0.5e-12)).unwrap();
-        let v = res.voltage(m.far_nodes[0]);
+        let v = res.voltage(m.far_nodes[0]).unwrap();
         assert!((v.last().unwrap() - 1.0).abs() < 0.02);
     }
 }

@@ -1,127 +1,178 @@
-//! Property-based tests for the closed-form extraction kernels.
+//! Property-style tests for the closed-form extraction kernels, driven by
+//! the workspace's deterministic [`XorShift64`] generator (the suite
+//! builds offline, without `proptest`).
 
-use proptest::prelude::*;
-use vpec_extract::inductance::{mutual_inductance, partial_inductance_matrix, self_inductance};
 use vpec_extract::capacitance::{coupling_capacitance, ground_capacitance, overlap_length};
+use vpec_extract::inductance::{mutual_inductance, partial_inductance_matrix, self_inductance};
 use vpec_extract::resistance::{ac_resistance, dc_resistance};
 use vpec_geometry::{um, Axis, Filament};
+use vpec_numerics::rng::XorShift64;
+
+const CASES: usize = 128;
 
 /// A physical wire filament with bounded aspect ratios.
-fn filament() -> impl Strategy<Value = Filament> {
-    (
-        -500.0f64..500.0, // x µm
-        -50.0f64..50.0,   // y µm
-        50.0f64..2000.0,  // length µm
-        0.3f64..4.0,      // width µm
-        0.3f64..4.0,      // thickness µm
+fn filament(rng: &mut XorShift64) -> Filament {
+    Filament::new(
+        [
+            um(rng.range_f64(-500.0, 500.0)),
+            um(rng.range_f64(-50.0, 50.0)),
+            0.0,
+        ],
+        Axis::X,
+        um(rng.range_f64(50.0, 2000.0)),
+        um(rng.range_f64(0.3, 4.0)),
+        um(rng.range_f64(0.3, 4.0)),
     )
-        .prop_map(|(x, y, l, w, t)| {
-            Filament::new([um(x), um(y), 0.0], Axis::X, um(l), um(w), um(t))
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn self_inductance_positive_and_superlinear(f in filament()) {
+#[test]
+fn self_inductance_positive_and_superlinear() {
+    let mut rng = XorShift64::new(0x4001);
+    for _ in 0..CASES {
+        let f = filament(&mut rng);
         let l1 = self_inductance(&f);
-        prop_assert!(l1 > 0.0);
+        assert!(l1 > 0.0);
         let mut longer = f;
         longer.length *= 2.0;
         let l2 = self_inductance(&longer);
-        prop_assert!(l2 > 2.0 * l1, "partial self-L grows faster than length");
+        assert!(l2 > 2.0 * l1, "partial self-L grows faster than length");
     }
+}
 
-    #[test]
-    fn mutual_symmetric_and_bounded(a in filament(), b in filament()) {
+#[test]
+fn mutual_symmetric_and_bounded() {
+    let mut rng = XorShift64::new(0x4002);
+    for _ in 0..CASES {
+        let a = filament(&mut rng);
+        let b = filament(&mut rng);
         let mab = mutual_inductance(&a, &b);
         let mba = mutual_inductance(&b, &a);
-        prop_assert!((mab - mba).abs() <= 1e-18 + 1e-12 * mab.abs());
+        assert!((mab - mba).abs() <= 1e-18 + 1e-12 * mab.abs());
         // Passivity bound for the pair: |M| ≤ √(L₁·L₂).
         let bound = (self_inductance(&a) * self_inductance(&b)).sqrt();
-        prop_assert!(
+        assert!(
             mab.abs() <= bound * (1.0 + 1e-9),
             "|M| = {} exceeds √(L1·L2) = {}",
             mab.abs(),
             bound
         );
     }
+}
 
-    #[test]
-    fn mutual_decays_with_lateral_distance(
-        f in filament(),
-        d1 in 2.0f64..20.0,
-        factor in 1.5f64..5.0,
-    ) {
-        let near = Filament { origin: [f.origin[0], f.origin[1] + um(d1), 0.0], ..f };
+#[test]
+fn mutual_decays_with_lateral_distance() {
+    let mut rng = XorShift64::new(0x4003);
+    for _ in 0..CASES {
+        let f = filament(&mut rng);
+        let d1 = rng.range_f64(2.0, 20.0);
+        let factor = rng.range_f64(1.5, 5.0);
+        let near = Filament {
+            origin: [f.origin[0], f.origin[1] + um(d1), 0.0],
+            ..f
+        };
         let far = Filament {
             origin: [f.origin[0], f.origin[1] + um(d1 * factor), 0.0],
             ..f
         };
-        prop_assert!(mutual_inductance(&f, &near) > mutual_inductance(&f, &far));
+        assert!(mutual_inductance(&f, &near) > mutual_inductance(&f, &far));
     }
+}
 
-    #[test]
-    fn same_direction_parallel_mutual_positive(f in filament(), dy in 1.0f64..100.0) {
-        let other = Filament { origin: [f.origin[0], f.origin[1] + um(dy), 0.0], ..f };
-        prop_assert!(mutual_inductance(&f, &other) > 0.0);
+#[test]
+fn same_direction_parallel_mutual_positive() {
+    let mut rng = XorShift64::new(0x4004);
+    for _ in 0..CASES {
+        let f = filament(&mut rng);
+        let dy = rng.range_f64(1.0, 100.0);
+        let other = Filament {
+            origin: [f.origin[0], f.origin[1] + um(dy), 0.0],
+            ..f
+        };
+        assert!(mutual_inductance(&f, &other) > 0.0);
     }
+}
 
-    #[test]
-    fn direction_flip_negates_mutual(a in filament(), dy in 1.0f64..50.0) {
-        let b = Filament { origin: [a.origin[0], a.origin[1] + um(dy), 0.0], ..a };
+#[test]
+fn direction_flip_negates_mutual() {
+    let mut rng = XorShift64::new(0x4005);
+    for _ in 0..CASES {
+        let a = filament(&mut rng);
+        let dy = rng.range_f64(1.0, 50.0);
+        let b = Filament {
+            origin: [a.origin[0], a.origin[1] + um(dy), 0.0],
+            ..a
+        };
         let m_pos = mutual_inductance(&a, &b);
         let m_neg = mutual_inductance(&a, &b.with_direction(-1.0));
-        prop_assert!((m_pos + m_neg).abs() < 1e-18 + 1e-12 * m_pos.abs());
+        assert!((m_pos + m_neg).abs() < 1e-18 + 1e-12 * m_pos.abs());
     }
+}
 
-    #[test]
-    fn small_l_matrices_are_spd(
-        f in filament(),
-        gaps in proptest::collection::vec(1.0f64..30.0, 1..5),
-    ) {
+#[test]
+fn small_l_matrices_are_spd() {
+    let mut rng = XorShift64::new(0x4006);
+    for _ in 0..CASES {
+        let f = filament(&mut rng);
         let mut fils = vec![f];
         let mut y = f.origin[1];
-        for g in gaps {
-            y += um(g) + f.width;
-            fils.push(Filament { origin: [f.origin[0], y, 0.0], ..f });
+        for _ in 0..rng.range_usize(1, 5) {
+            y += um(rng.range_f64(1.0, 30.0)) + f.width;
+            fils.push(Filament {
+                origin: [f.origin[0], y, 0.0],
+                ..f
+            });
         }
         let l = partial_inductance_matrix(&fils);
-        prop_assert!(l.is_symmetric(1e-9));
-        prop_assert!(vpec_numerics::Cholesky::new(&l).is_ok(), "L must be s.p.d.");
+        assert!(l.is_symmetric(1e-9));
+        assert!(vpec_numerics::Cholesky::new(&l).is_ok(), "L must be s.p.d.");
     }
+}
 
-    #[test]
-    fn resistance_laws(f in filament(), rho in 1.0e-8f64..1.0e-7) {
+#[test]
+fn resistance_laws() {
+    let mut rng = XorShift64::new(0x4007);
+    for _ in 0..CASES {
+        let f = filament(&mut rng);
+        let rho = rng.range_f64(1.0e-8, 1.0e-7);
         let r = dc_resistance(&f, rho);
-        prop_assert!(r > 0.0);
+        assert!(r > 0.0);
         // R scales inversely with area.
         let mut wide = f;
         wide.width *= 2.0;
-        prop_assert!(dc_resistance(&wide, rho) < r);
+        assert!(dc_resistance(&wide, rho) < r);
         // AC never below DC.
         let rac = ac_resistance(&f, rho, 1.0e10);
-        prop_assert!(rac >= r * (1.0 - 1e-12));
+        assert!(rac >= r * (1.0 - 1e-12));
     }
+}
 
-    #[test]
-    fn capacitance_laws(f in filament(), h in 0.5f64..5.0, eps in 1.0f64..8.0) {
+#[test]
+fn capacitance_laws() {
+    let mut rng = XorShift64::new(0x4008);
+    for _ in 0..CASES {
+        let f = filament(&mut rng);
+        let h = rng.range_f64(0.5, 5.0);
+        let eps = rng.range_f64(1.0, 8.0);
         let c = ground_capacitance(&f, um(h), eps);
-        prop_assert!(c > 0.0);
+        assert!(c > 0.0);
         // More dielectric, more capacitance.
-        prop_assert!(ground_capacitance(&f, um(h), eps * 2.0) > c);
+        assert!(ground_capacitance(&f, um(h), eps * 2.0) > c);
         // Further from ground, less area capacitance.
-        prop_assert!(ground_capacitance(&f, um(h) * 4.0, eps) < c);
+        assert!(ground_capacitance(&f, um(h) * 4.0, eps) < c);
     }
+}
 
-    #[test]
-    fn coupling_cap_needs_overlap(a in filament(), dx in 0.0f64..3000.0) {
+#[test]
+fn coupling_cap_needs_overlap() {
+    let mut rng = XorShift64::new(0x4009);
+    for _ in 0..CASES {
+        let a = filament(&mut rng);
+        let dx = rng.range_f64(0.0, 3000.0);
         let b = Filament {
             origin: [a.origin[0] + a.length + um(dx), a.origin[1] + um(3.0), 0.0],
             ..a
         };
-        prop_assert_eq!(overlap_length(&a, &b), 0.0);
-        prop_assert_eq!(coupling_capacitance(&a, &b, um(1.0), 2.0), 0.0);
+        assert_eq!(overlap_length(&a, &b), 0.0);
+        assert_eq!(coupling_capacitance(&a, &b, um(1.0), 2.0), 0.0);
     }
 }

@@ -39,6 +39,8 @@ pub mod eigen;
 mod error;
 mod lu;
 pub mod ordering;
+pub mod probe;
+pub mod rng;
 mod scalar;
 mod sparse;
 mod sparse_lu;
@@ -49,6 +51,7 @@ pub use complex::Complex64;
 pub use dense::DenseMatrix;
 pub use error::NumericsError;
 pub use lu::LuFactor;
+pub use probe::{condition_estimate, solve_regularized, spd_probe, SpdProbe};
 pub use scalar::Scalar;
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use sparse_lu::SparseLu;

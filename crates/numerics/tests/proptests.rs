@@ -1,113 +1,152 @@
-//! Property-based tests for the linear-algebra kernels.
+//! Property-style tests for the linear-algebra kernels.
 //!
 //! Strategy: generate random diagonally dominant (hence nonsingular) or
 //! random-SPD matrices and verify algebraic invariants that must hold for
-//! *any* input, not just hand-picked examples.
+//! *any* input, not just hand-picked examples. Inputs come from the
+//! workspace's deterministic [`XorShift64`] generator so the suite is
+//! reproducible and needs no external crates.
 
-use proptest::prelude::*;
+use vpec_numerics::rng::XorShift64;
 use vpec_numerics::{Cholesky, CooMatrix, CsrMatrix, DenseMatrix, LuFactor, SparseLu};
 
-/// Strategy: an `n×n` strictly diagonally dominant matrix (always
-/// nonsingular) plus a right-hand side.
-fn dominant_system(n: usize) -> impl Strategy<Value = (DenseMatrix<f64>, Vec<f64>)> {
-    let entries = proptest::collection::vec(-1.0f64..1.0, n * n);
-    let rhs = proptest::collection::vec(-10.0f64..10.0, n);
-    (entries, rhs).prop_map(move |(e, b)| {
-        let mut m = DenseMatrix::from_fn(n, n, |i, j| e[i * n + j]);
-        for i in 0..n {
-            let off: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
-            m[(i, i)] = off + 1.0; // strictly dominant
+const CASES: usize = 64;
+
+/// An `n×n` strictly diagonally dominant matrix (always nonsingular)
+/// plus a right-hand side.
+fn dominant_system(rng: &mut XorShift64, n: usize) -> (DenseMatrix<f64>, Vec<f64>) {
+    let mut m = DenseMatrix::from_fn(n, n, |_, _| 0.0);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = rng.range_f64(-1.0, 1.0);
         }
-        (m, b)
-    })
+    }
+    for i in 0..n {
+        let off: f64 = (0..n).filter(|&j| j != i).map(|j| m[(i, j)].abs()).sum();
+        m[(i, i)] = off + 1.0; // strictly dominant
+    }
+    let b = (0..n).map(|_| rng.range_f64(-10.0, 10.0)).collect();
+    (m, b)
 }
 
-/// Strategy: a random SPD matrix `A = Bᵀ·B + I`.
-fn spd_matrix(n: usize) -> impl Strategy<Value = DenseMatrix<f64>> {
-    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |e| {
-        let b = DenseMatrix::from_fn(n, n, |i, j| e[i * n + j]);
-        let mut a = b.transpose().matmul(&b).expect("square");
-        for i in 0..n {
-            a[(i, i)] += 1.0;
+/// A random SPD matrix `A = Bᵀ·B + I`.
+fn spd_matrix(rng: &mut XorShift64, n: usize) -> DenseMatrix<f64> {
+    let mut b = DenseMatrix::from_fn(n, n, |_, _| 0.0);
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] = rng.range_f64(-1.0, 1.0);
         }
-        a
-    })
+    }
+    let mut a = b.transpose().matmul(&b).expect("square");
+    for i in 0..n {
+        a[(i, i)] += 1.0;
+    }
+    a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lu_solve_satisfies_system((a, b) in dominant_system(8)) {
+#[test]
+fn lu_solve_satisfies_system() {
+    let mut rng = XorShift64::new(0x1001);
+    for _ in 0..CASES {
+        let (a, b) = dominant_system(&mut rng, 8);
         let lu = LuFactor::new(&a).expect("dominant matrices are nonsingular");
         let x = lu.solve(&b).expect("dim matches");
         let back = a.matvec(&x).expect("dim matches");
         for (u, v) in back.iter().zip(b.iter()) {
-            prop_assert!((u - v).abs() < 1e-8, "residual too large: {u} vs {v}");
+            assert!((u - v).abs() < 1e-8, "residual too large: {u} vs {v}");
         }
     }
+}
 
-    #[test]
-    fn lu_inverse_is_two_sided((a, _b) in dominant_system(6)) {
+#[test]
+fn lu_inverse_is_two_sided() {
+    let mut rng = XorShift64::new(0x1002);
+    for _ in 0..CASES {
+        let (a, _b) = dominant_system(&mut rng, 6);
         let inv = LuFactor::new(&a).expect("nonsingular").inverse().expect("ok");
         let eye = DenseMatrix::identity(6);
-        prop_assert!(a.matmul(&inv).expect("ok").max_abs_diff(&eye).expect("ok") < 1e-8);
-        prop_assert!(inv.matmul(&a).expect("ok").max_abs_diff(&eye).expect("ok") < 1e-8);
+        assert!(a.matmul(&inv).expect("ok").max_abs_diff(&eye).expect("ok") < 1e-8);
+        assert!(inv.matmul(&a).expect("ok").max_abs_diff(&eye).expect("ok") < 1e-8);
     }
+}
 
-    #[test]
-    fn cholesky_succeeds_on_spd_and_matches_lu(a in spd_matrix(7)) {
+#[test]
+fn cholesky_succeeds_on_spd_and_matches_lu() {
+    let mut rng = XorShift64::new(0x1003);
+    for _ in 0..CASES {
+        let a = spd_matrix(&mut rng, 7);
         let ch = Cholesky::new(&a).expect("SPD by construction");
         let b: Vec<f64> = (0..7).map(|i| (i as f64) - 3.0).collect();
         let x_ch = ch.solve(&b).expect("ok");
         let x_lu = LuFactor::new(&a).expect("ok").solve(&b).expect("ok");
         for (u, v) in x_ch.iter().zip(x_lu.iter()) {
-            prop_assert!((u - v).abs() < 1e-7);
+            assert!((u - v).abs() < 1e-7);
         }
     }
+}
 
-    #[test]
-    fn cholesky_inverse_of_spd_is_spd(a in spd_matrix(5)) {
+#[test]
+fn cholesky_inverse_of_spd_is_spd() {
+    let mut rng = XorShift64::new(0x1004);
+    for _ in 0..CASES {
+        let a = spd_matrix(&mut rng, 5);
         let inv = Cholesky::new(&a).expect("SPD").inverse().expect("ok");
-        prop_assert!(inv.is_symmetric(1e-8));
-        prop_assert!(Cholesky::new(&inv).is_ok(), "inverse of SPD must be SPD");
+        assert!(inv.is_symmetric(1e-8));
+        assert!(Cholesky::new(&inv).is_ok(), "inverse of SPD must be SPD");
     }
+}
 
-    #[test]
-    fn sparse_lu_agrees_with_dense((a, b) in dominant_system(10)) {
+#[test]
+fn sparse_lu_agrees_with_dense() {
+    let mut rng = XorShift64::new(0x1005);
+    for _ in 0..CASES {
+        let (a, b) = dominant_system(&mut rng, 10);
         let csr = CsrMatrix::from_dense(&a, 0.0);
         let xs = SparseLu::new(&csr).expect("nonsingular").solve(&b).expect("ok");
         let xd = LuFactor::new(&a).expect("nonsingular").solve(&b).expect("ok");
         for (u, v) in xs.iter().zip(xd.iter()) {
-            prop_assert!((u - v).abs() < 1e-8, "sparse {u} vs dense {v}");
+            assert!((u - v).abs() < 1e-8, "sparse {u} vs dense {v}");
         }
     }
+}
 
-    #[test]
-    fn csr_matvec_matches_dense((a, x) in dominant_system(9)) {
+#[test]
+fn csr_matvec_matches_dense() {
+    let mut rng = XorShift64::new(0x1006);
+    for _ in 0..CASES {
+        let (a, x) = dominant_system(&mut rng, 9);
         let csr = CsrMatrix::from_dense(&a, 0.0);
         let ys = csr.matvec(&x).expect("ok");
         let yd = a.matvec(&x).expect("ok");
         for (u, v) in ys.iter().zip(yd.iter()) {
-            prop_assert!((u - v).abs() < 1e-10);
+            assert!((u - v).abs() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn transpose_is_involution(entries in proptest::collection::vec((0usize..12, 0usize..12, -5.0f64..5.0), 0..40)) {
+#[test]
+fn transpose_is_involution() {
+    let mut rng = XorShift64::new(0x1007);
+    for _ in 0..CASES {
         let mut coo = CooMatrix::new(12, 12);
-        for (r, c, v) in entries {
+        for _ in 0..rng.range_usize(0, 40) {
+            let r = rng.range_usize(0, 12);
+            let c = rng.range_usize(0, 12);
+            let v = rng.range_f64(-5.0, 5.0);
             coo.push(r, c, v).expect("in bounds");
         }
         let m = coo.to_csr();
         let tt = m.transpose().transpose();
-        prop_assert_eq!(m, tt);
+        assert_eq!(m, tt);
     }
+}
 
-    #[test]
-    fn determinant_sign_consistent_with_cholesky(a in spd_matrix(6)) {
+#[test]
+fn determinant_sign_consistent_with_cholesky() {
+    let mut rng = XorShift64::new(0x1008);
+    for _ in 0..CASES {
         // det of an SPD matrix must be positive.
+        let a = spd_matrix(&mut rng, 6);
         let det = LuFactor::new(&a).expect("ok").det();
-        prop_assert!(det > 0.0, "SPD determinant must be positive, got {det}");
+        assert!(det > 0.0, "SPD determinant must be positive, got {det}");
     }
 }

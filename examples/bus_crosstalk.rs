@@ -25,13 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("PEEC reference ({bits}-bit bus), sim {:.0} ms", t_peec * 1e3);
     println!("\nnoise peaks along the bus (far-end |V| max):");
     for victim in [1, 2, 4, 8, 16, 31] {
-        let w = peec.far_voltage(&rp, victim);
+        let w = peec.far_voltage(&rp, victim)?;
         println!("  bit {victim:>2}: {:7.2} mV", peak_abs(&w) * 1e3);
     }
 
     // Sweep sparsified models.
     println!("\nmodel                    elements   sim time   avg victim-1 err");
-    let wp = peec.far_voltage(&rp, 1);
+    let wp = peec.far_voltage(&rp, 1)?;
     for kind in [
         ModelKind::VpecFull,
         ModelKind::TVpecNumerical { threshold: 0.005 },
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let built = exp.build(kind)?;
         let (r, secs) = built.run_transient(&spec)?;
-        let d = WaveformDiff::compare(&wp, &built.far_voltage(&r, 1));
+        let d = WaveformDiff::compare(&wp, &built.far_voltage(&r, 1)?);
         println!(
             "{:<24} {:>8}   {:>6.0} ms   {:.3}% of peak",
             kind.label(),

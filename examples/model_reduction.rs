@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full_secs = t2.elapsed().as_secs_f64();
 
     for (k, &node) in outputs.iter().enumerate() {
-        let v_full = full.voltage(node);
+        let v_full = full.voltage(node)?;
         let v_rom = resample(&t_rom, &y_rom[k], full.time());
         let d = WaveformDiff::compare(&v_full, &v_rom);
         println!(

@@ -58,8 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (rv, t_vpec) = vpec.run_transient(&spec)?;
     let victim = 1; // far end of the second bit, the paper's probe
     let diff = WaveformDiff::compare(
-        &peec.far_voltage(&rp, victim),
-        &vpec.far_voltage(&rv, victim),
+        &peec.far_voltage(&rp, victim)?,
+        &vpec.far_voltage(&rv, victim)?,
     );
     println!(
         "victim noise peak {:.1} mV | VPEC-vs-PEEC max diff {:.4}% of peak",

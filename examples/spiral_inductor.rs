@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tspec = TransientSpec::new(0.6e-9, 0.5e-12);
     let peec = exp.build(ModelKind::Peec)?;
     let (rp, sp) = peec.run_transient(&tspec)?;
-    let wp = peec.far_voltage(&rp, 0);
+    let wp = peec.far_voltage(&rp, 0)?;
 
     for kind in [
         ModelKind::VpecFull,
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let built = exp.build(kind)?;
         let (r, secs) = built.run_transient(&tspec)?;
-        let d = WaveformDiff::compare(&wp, &built.far_voltage(&r, 0));
+        let d = WaveformDiff::compare(&wp, &built.far_voltage(&r, 0)?);
         println!(
             "{:<16} sparse factor {:>5.1}% | sim {:>5.0} ms (PEEC {:.0} ms) | avg err {:.3}% of peak",
             built.kind.label(),

@@ -33,8 +33,8 @@
 //! let (rp, _) = peec.run_transient(&spec)?;
 //! let (rv, _) = vpec.run_transient(&spec)?;
 //! let diff = WaveformDiff::compare(
-//!     &peec.far_voltage(&rp, 1),
-//!     &vpec.far_voltage(&rv, 1),
+//!     &peec.far_voltage(&rp, 1)?,
+//!     &vpec.far_voltage(&rv, 1)?,
 //! );
 //! assert!(diff.max_pct_of_peak() < 1.0); // Fig. 2: identical waveforms
 //! # Ok(())
@@ -55,12 +55,15 @@ pub mod prelude {
     pub use vpec_circuit::ac::AcSpec;
     pub use vpec_circuit::metrics::{crossing_time, peak_abs, resample, WaveformDiff};
     pub use vpec_circuit::{
-        AdaptiveSpec, Circuit, CircuitError, Integrator, NodeId, SolverKind, TransientSpec,
-        Waveform,
+        AdaptiveSpec, Circuit, CircuitError, FactorDiagnostics, FactorStrategy, FaultInjection,
+        Integrator, NodeId, SolverKind, TransientDiagnostics, TransientSpec, Waveform,
     };
     pub use vpec_core::harness::{paper_transient_spec, BuiltModel, Experiment, ModelKind};
     pub use vpec_core::noise::{noise_scan, worst_aggressor_alignment, NoiseReport};
-    pub use vpec_core::{CoreError, DriveConfig, LoweringStyle, PassivityReport, VpecModel};
+    pub use vpec_core::{
+        repair_passivity, CoreError, DriveConfig, LoweringStyle, PassivityReport, RepairReport,
+        SolveReport, VpecModel,
+    };
     pub use vpec_extract::{extract, ConductorSystem, ExtractionConfig, Parasitics};
     pub use vpec_geometry::{um, BusSpec, Layout, SpiralSpec, SubstrateSpec, GHZ};
 }

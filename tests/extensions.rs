@@ -44,8 +44,8 @@ fn adaptive_transient_on_vpec_netlist() {
     );
     // Victim waveforms agree on the common grid.
     let victim = built.model.far_nodes[1];
-    let wa = resample(ra.time(), &ra.voltage(victim), rf.time());
-    let wf = rf.voltage(victim);
+    let wa = resample(ra.time(), &ra.voltage(victim).unwrap(), rf.time());
+    let wf = rf.voltage(victim).unwrap();
     let d = WaveformDiff::compare(&wf, &wa);
     assert!(
         d.max_pct_of_peak() < 5.0,
@@ -74,7 +74,7 @@ fn mor_macromodel_tracks_victim() {
         .run_transient(&TransientSpec::new(0.4e-9, 1e-12))
         .unwrap();
     let v_rom = resample(&t_rom, &y[0], full.time());
-    let d = WaveformDiff::compare(&full.voltage(victim), &v_rom);
+    let d = WaveformDiff::compare(&full.voltage(victim).unwrap(), &v_rom);
     assert!(d.max_pct_of_peak() < 10.0, "ROM error {}%", d.max_pct_of_peak());
 }
 
@@ -86,7 +86,7 @@ fn kelement_matches_at_high_frequency() {
     let k = KNodalModel::build(&exp.layout, &exp.parasitics, &model, &exp.drive).unwrap();
     let built = exp.build(ModelKind::Peec).unwrap();
     let (ac, _) = built.run_ac(&AcSpec::points(vec![2e9])).unwrap();
-    let reference = ac.magnitude(built.model.far_nodes[1])[0];
+    let reference = ac.magnitude(built.model.far_nodes[1]).unwrap()[0];
     let x = k.solve_ac(2e9).unwrap();
     let knodal = x[k.far_node(1)].abs();
     assert!((reference - knodal).abs() < 0.02 * reference.max(1e-3));

@@ -1,0 +1,168 @@
+//! End-to-end exercises of the fault-tolerant solve pipeline — the three
+//! recovery behaviors, driven through the public API only:
+//!
+//! 1. a singular MNA system walks the factorization fallback chain and
+//!    ends in a typed error, or in a regularized solution when the caller
+//!    opts in — never a panic;
+//! 2. a non-finite value appearing mid-transient triggers a checkpointed
+//!    retry at a halved step, recorded in the diagnostics;
+//! 3. a sparsified model that lost the paper's passivity guarantee is
+//!    repaired at build time and the repair magnitude is visible in the
+//!    [`SolveReport`].
+
+use vpec::circuit::transient::run_transient_with_report;
+use vpec::circuit::dc::solve_dc;
+use vpec::circuit::CircuitError;
+use vpec::geometry::{Axis, Filament, Layout};
+use vpec::prelude::*;
+
+/// A voltage divider plus one node no element ever touches: its MNA row
+/// is all-zero, so the DC and transient systems are both singular.
+fn circuit_with_floating_node() -> (Circuit, NodeId) {
+    let mut c = Circuit::new();
+    let inp = c.node("in");
+    let out = c.node("out");
+    let _orphan = c.node("orphan");
+    c.add_vsource("V1", inp, Circuit::GROUND, Waveform::step(1.0, 20.0e-12))
+        .unwrap();
+    c.add_resistor("R1", inp, out, 100.0).unwrap();
+    c.add_resistor("R2", out, Circuit::GROUND, 100.0).unwrap();
+    (c, out)
+}
+
+/// A misaligned multi-segment 3-bit bus that sits outside Theorem 2's
+/// similar-length domain: its exact `Ĝ` is passive but NOT strictly
+/// diagonally dominant, so sparsified variants need the repair pass.
+fn boundary_layout() -> Layout {
+    let w = 5e-7;
+    let t = 2.105254640356431e-6;
+    let len = 0.0005930341860689368;
+    let mk = |x: f64, y: f64| Filament::new([x, y, 0.0], Axis::X, len, w, t);
+    let mut layout = Layout::new();
+    layout.push_net(
+        "b0",
+        vec![mk(-9.307037661501751e-6, 0.0), mk(0.000583727148407435, 0.0)],
+    );
+    layout.push_net(
+        "b1",
+        vec![
+            mk(-6.436935583913894e-5, 1.5e-6),
+            mk(0.0005286648302297979, 1.5e-6),
+        ],
+    );
+    layout.push_net(
+        "b2",
+        vec![
+            mk(6.400449988157909e-5, 3e-6),
+            mk(0.0006570386859505159, 3e-6),
+        ],
+    );
+    layout
+}
+
+#[test]
+fn singular_system_is_a_typed_error_not_a_panic() {
+    let (c, _) = circuit_with_floating_node();
+    // DC: the fallback chain runs out of stages and reports the failure.
+    let err = solve_dc(&c).unwrap_err();
+    assert!(matches!(err, CircuitError::SingularSystem { .. }));
+    assert!(err.to_string().contains("singular"));
+    // Transient without the opt-in: same typed error, no panic.
+    let err = run_transient_with_report(&c, &TransientSpec::new(0.3e-9, 1e-12)).unwrap_err();
+    assert!(matches!(err, CircuitError::SingularSystem { .. }));
+}
+
+#[test]
+fn regularization_opt_in_recovers_a_singular_system() {
+    let (c, out) = circuit_with_floating_node();
+    let spec = TransientSpec::new(0.3e-9, 1e-12).regularize(true);
+    let (res, diag) = run_transient_with_report(&c, &spec).expect("regularized solve");
+    // The chain had to go past the primary backend, and said so.
+    assert!(diag.factor.used_fallback());
+    assert_eq!(diag.factor.accepted(), Some(FactorStrategy::RegularizedDenseLu));
+    assert!(diag.factor.regularization.is_some_and(|eps| eps > 0.0));
+    assert!(diag.degraded());
+    // The well-posed part of the circuit still behaves: the divider
+    // settles to half the source voltage.
+    let v = res.voltage(out).unwrap();
+    assert!(v.iter().all(|x| x.is_finite()));
+    assert!((v.last().unwrap() - 0.5).abs() < 0.02, "divider settles");
+}
+
+#[test]
+fn mid_transient_nan_triggers_checkpointed_retry() {
+    // A healthy RC lowpass; poison the solution at step 25.
+    let mut c = Circuit::new();
+    let inp = c.node("in");
+    let out = c.node("out");
+    c.add_vsource("V1", inp, Circuit::GROUND, Waveform::step(1.0, 20.0e-12))
+        .unwrap();
+    c.add_resistor("R1", inp, out, 50.0).unwrap();
+    c.add_capacitor("C1", out, Circuit::GROUND, 1e-13).unwrap();
+    let faults = FaultInjection {
+        fail_primary_factor: false,
+        poison_step: Some(25),
+    };
+    let spec = TransientSpec::new(0.5e-9, 1e-12).fault_injection(faults);
+    let (res, diag) = run_transient_with_report(&c, &spec).expect("recovers");
+    assert!(diag.retries >= 1, "the poisoned step must be retried");
+    assert!(diag.refactorizations >= 1, "halving refactors the system");
+    assert!(diag.final_dt < 1e-12, "step size was halved");
+    assert!(diag.degraded());
+    let v = res.voltage(out).unwrap();
+    assert!(v.iter().all(|x| x.is_finite()));
+    assert!((v.last().unwrap() - 1.0).abs() < 0.02, "RC settles to 1 V");
+}
+
+#[test]
+fn nonpassive_sparsified_model_is_repaired_and_reported() {
+    let exp = Experiment::new(
+        boundary_layout(),
+        &ExtractionConfig::paper_default(),
+        DriveConfig::paper_default(),
+    );
+    // Threshold 0 keeps every coupling: the sparsified model inherits the
+    // exact Ĝ's dominance violation and the repair pass must engage.
+    let built = exp
+        .build(ModelKind::TVpecNumerical { threshold: 0.0 })
+        .expect("build");
+    let repair = built.repair.clone().expect("sparsified kinds carry a repair record");
+    assert!(repair.repaired(), "boundary-case model needs repair");
+    assert!(repair.max_delta > 0.0 && repair.total_delta >= repair.max_delta);
+
+    // The repair magnitude surfaces in the SolveReport the CLI prints.
+    let (res, report, _) = built
+        .run_transient_with_report(&TransientSpec::new(0.2e-9, 1e-12))
+        .expect("simulate");
+    assert!(report.degraded());
+    let lines = report.lines();
+    assert!(
+        lines.iter().any(|l| l.contains("passivity repair") && l.contains("row")),
+        "repair line missing from {lines:?}"
+    );
+    // And the repaired netlist actually simulates to a finite waveform.
+    let v = built.far_voltage(&res, 0).expect("probed");
+    assert!(v.iter().all(|x| x.is_finite()));
+}
+
+#[test]
+fn injected_factor_failure_walks_the_chain_end_to_end() {
+    let exp = Experiment::new(
+        BusSpec::new(4).build(),
+        &ExtractionConfig::paper_default(),
+        DriveConfig::paper_default(),
+    );
+    let built = exp.build(ModelKind::VpecFull).expect("build");
+    let faults = FaultInjection {
+        fail_primary_factor: true,
+        poison_step: None,
+    };
+    let spec = TransientSpec::new(0.2e-9, 1e-12)
+        .solver(SolverKind::Sparse)
+        .fault_injection(faults);
+    let (res, diag) = run_transient_with_report(&built.model.circuit, &spec).expect("falls back");
+    assert!(diag.factor.used_fallback());
+    assert_eq!(diag.factor.accepted(), Some(FactorStrategy::DenseLu));
+    let v = res.voltage(built.model.far_nodes[0]).unwrap();
+    assert!((v.last().unwrap() - 1.0).abs() < 0.05, "aggressor settles");
+}

@@ -25,7 +25,7 @@ fn full_vpec_matches_peec_time_and_frequency_domain() {
     let (rp, _) = peec.run_transient(&tspec).unwrap();
     let (rv, _) = vpec.run_transient(&tspec).unwrap();
     for net in 0..5 {
-        let d = WaveformDiff::compare(&peec.far_voltage(&rp, net), &vpec.far_voltage(&rv, net));
+        let d = WaveformDiff::compare(&peec.far_voltage(&rp, net).unwrap(), &vpec.far_voltage(&rv, net).unwrap());
         assert!(
             d.max_pct_of_peak() < 0.5,
             "net {net}: time-domain mismatch {}%",
@@ -37,8 +37,8 @@ fn full_vpec_matches_peec_time_and_frequency_domain() {
     let aspec = AcSpec::log_sweep(1.0, 1e10, 5);
     let (ap, _) = peec.run_ac(&aspec).unwrap();
     let (av, _) = vpec.run_ac(&aspec).unwrap();
-    let mp = ap.magnitude(peec.model.far_nodes[1]);
-    let mv = av.magnitude(vpec.model.far_nodes[1]);
+    let mp = ap.magnitude(peec.model.far_nodes[1]).unwrap();
+    let mv = av.magnitude(vpec.model.far_nodes[1]).unwrap();
     let peak = mp.iter().cloned().fold(0.0f64, f64::max);
     for (a, b) in mp.iter().zip(mv.iter()) {
         assert!(
@@ -57,7 +57,7 @@ fn localized_vpec_is_visibly_wrong() {
     let tspec = TransientSpec::new(0.4e-9, 0.5e-12);
     let (rp, _) = peec.run_transient(&tspec).unwrap();
     let (rl, _) = local.run_transient(&tspec).unwrap();
-    let d = WaveformDiff::compare(&peec.far_voltage(&rp, 1), &local.far_voltage(&rl, 1));
+    let d = WaveformDiff::compare(&peec.far_voltage(&rp, 1).unwrap(), &local.far_voltage(&rl, 1).unwrap());
     assert!(
         d.max_pct_of_peak() > 2.0,
         "localized model should be visibly off, got {}%",
@@ -111,12 +111,12 @@ fn sparsified_delay_within_three_percent() {
     let tspec = TransientSpec::new(0.4e-9, 0.5e-12);
     let peec = exp.build(ModelKind::Peec).unwrap();
     let (rp, _) = peec.run_transient(&tspec).unwrap();
-    let agg_p = peec.far_voltage(&rp, 0);
+    let agg_p = peec.far_voltage(&rp, 0).unwrap();
     let delay_p = crossing_time(rp.time(), &agg_p, 0.5).expect("aggressor rises");
 
     let gw = exp.build(ModelKind::WVpecGeometric { b: 8 }).unwrap();
     let (rw, _) = gw.run_transient(&tspec).unwrap();
-    let agg_w = gw.far_voltage(&rw, 0);
+    let agg_w = gw.far_voltage(&rw, 0).unwrap();
     let delay_w = crossing_time(rw.time(), &agg_w, 0.5).expect("aggressor rises");
 
     let delay_diff = (delay_w - delay_p).abs() / delay_p;
@@ -168,7 +168,7 @@ fn vpec_on_shielded_bus() {
     let built = shielded.build(ModelKind::VpecFull).unwrap();
     let (res, _) = built.run_transient(&tspec).unwrap();
     // Victim = second signal net (original net index 2).
-    let shielded_noise = peak_abs(&built.far_voltage(&res, 2));
+    let shielded_noise = peak_abs(&built.far_voltage(&res, 2).unwrap());
 
     let open = Experiment::new(
         BusSpec::new(6).build(),
@@ -177,7 +177,7 @@ fn vpec_on_shielded_bus() {
     );
     let built_open = open.build(ModelKind::VpecFull).unwrap();
     let (res_open, _) = built_open.run_transient(&tspec).unwrap();
-    let open_noise = peak_abs(&built_open.far_voltage(&res_open, 1));
+    let open_noise = peak_abs(&built_open.far_voltage(&res_open, 1).unwrap());
 
     assert!(
         shielded_noise < open_noise,

@@ -19,7 +19,7 @@ fn single_line_settles_and_delay_scales() {
         let (res, _) = built
             .run_transient(&TransientSpec::new(1e-9, 0.5e-12))
             .unwrap();
-        let w = built.far_voltage(&res, 0);
+        let w = built.far_voltage(&res, 0).unwrap();
         assert!(
             (w.last().unwrap() - 1.0).abs() < 5e-3,
             "line must settle to 1 V, got {}",
@@ -48,7 +48,7 @@ fn victim_noise_is_transient() {
             .run_transient(&TransientSpec::new(1e-9, 1e-12))
             .unwrap();
         for victim in 1..8 {
-            let w = built.far_voltage(&res, victim);
+            let w = built.far_voltage(&res, victim).unwrap();
             assert!(w[0].abs() < 1e-9, "victim must start quiet");
             assert!(
                 w.last().unwrap().abs() < 2e-3,
@@ -74,11 +74,11 @@ fn transient_and_ac_agree_at_dc_limit() {
     let (tr, _) = built
         .run_transient(&TransientSpec::new(1e-9, 1e-12))
         .unwrap();
-    let settled = *built.far_voltage(&tr, 0).last().unwrap();
+    let settled = *built.far_voltage(&tr, 0).unwrap().last().unwrap();
     let (ac, _) = built
         .run_ac(&AcSpec::points(vec![1.0]))
         .unwrap();
-    let low_freq = ac.magnitude(built.model.far_nodes[0])[0];
+    let low_freq = ac.magnitude(built.model.far_nodes[0]).unwrap()[0];
     assert!(
         (settled - low_freq).abs() < 1e-3,
         "transient settle {settled} vs 1 Hz AC {low_freq}"
@@ -139,7 +139,7 @@ fn segmentation_refinement_is_stable() {
         let (res, _) = built
             .run_transient(&TransientSpec::new(0.5e-9, 1e-12))
             .unwrap();
-        peak_abs(&built.far_voltage(&res, 1))
+        peak_abs(&built.far_voltage(&res, 1).unwrap())
     };
     let n4 = noise(4);
     let n8 = noise(8);
