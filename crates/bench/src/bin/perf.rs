@@ -1,0 +1,301 @@
+//! `perf` — tracked benchmark for the parallel numerics layer.
+//!
+//! ```text
+//! perf [--quick] [--out <path>]
+//!
+//! --quick   smallest layout only (CI smoke run, well under 30 s)
+//! --out     JSON destination (default BENCH_perf.json)
+//! ```
+//!
+//! Times five phases — extraction, S = L⁻¹ inversion, dense LU
+//! factorization, transient, AC sweep — on three fixed bus layouts, once
+//! with the pool pinned to 1 worker and once at the parallel worker
+//! count, and records the wall times plus the max-abs difference of the
+//! serial and parallel results. The parallel numerics layer is designed
+//! to be bit-compatible, so every `max_abs_diff` is expected to be 0.
+//!
+//! Numbers are honest: on a single-core machine the "parallel" column
+//! still runs the striped/chunked code paths, it just cannot be faster.
+//! `available_parallelism` is recorded so downstream tooling can judge
+//! the speedup columns in context.
+
+use std::time::Instant;
+use vpec_bench::report::{secs, speedup, Table};
+use vpec_circuit::ac::AcSpec;
+use vpec_circuit::TransientSpec;
+use vpec_core::harness::{Experiment, ModelKind};
+use vpec_core::DriveConfig;
+use vpec_extract::{extract, ExtractionConfig, Parasitics};
+use vpec_geometry::BusSpec;
+use vpec_numerics::{pool, Cholesky, LuFactor};
+
+/// Worker count for the "parallel" column (the ISSUE's reference point).
+const PARALLEL_THREADS: usize = 4;
+
+/// Best-of-N repetitions for the cheap linear-algebra phases.
+const REPS: usize = 3;
+
+/// A fixed benchmark layout.
+struct SizeSpec {
+    name: &'static str,
+    bits: usize,
+    segments: usize,
+}
+
+const SIZES: [SizeSpec; 3] = [
+    SizeSpec {
+        name: "small",
+        bits: 8,
+        segments: 4,
+    },
+    SizeSpec {
+        name: "medium",
+        bits: 16,
+        segments: 6,
+    },
+    SizeSpec {
+        name: "large",
+        bits: 28,
+        segments: 8,
+    },
+];
+
+/// One timed phase: serial vs parallel wall time and result difference.
+struct PhaseRow {
+    phase: &'static str,
+    serial_s: f64,
+    parallel_s: f64,
+    max_abs_diff: f64,
+}
+
+/// One benchmarked layout with its phase rows.
+struct SizeReport {
+    name: &'static str,
+    bits: usize,
+    segments: usize,
+    filaments: usize,
+    phases: Vec<PhaseRow>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "perf bench | available_parallelism = {hw} | parallel column = {PARALLEL_THREADS} workers"
+    );
+
+    let sizes: &[SizeSpec] = if quick { &SIZES[..1] } else { &SIZES[..] };
+    let t0 = Instant::now();
+    let reports: Vec<SizeReport> = sizes.iter().map(bench_size).collect();
+    // Leave the pool in its default (auto) state.
+    pool::set_threads(0);
+
+    for rep in &reports {
+        let mut table = Table::new(&["phase", "serial", "parallel", "speedup", "max |Δ|"]);
+        for p in &rep.phases {
+            table.row(&[
+                p.phase.to_string(),
+                secs(p.serial_s),
+                secs(p.parallel_s),
+                speedup(p.serial_s, p.parallel_s),
+                format!("{:.1e}", p.max_abs_diff),
+            ]);
+        }
+        println!(
+            "\n{} ({} bits x {} segments = {} filaments)",
+            rep.name, rep.bits, rep.segments, rep.filaments
+        );
+        print!("{}", table.render());
+    }
+
+    let json = render_json(&reports, hw, quick);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("[perf completed in {:.1} s]", t0.elapsed().as_secs_f64());
+}
+
+/// Runs `f` with the pool pinned to `n` workers, restoring auto after.
+fn at_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    pool::set_threads(n);
+    let r = f();
+    pool::set_threads(0);
+    r
+}
+
+/// Best-of-`REPS` wall time plus the last result.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "result shape mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn parasitics_diff(a: &Parasitics, b: &Parasitics) -> f64 {
+    max_abs_diff(a.inductance.as_slice(), b.inductance.as_slice())
+        .max(max_abs_diff(&a.resistance, &b.resistance))
+        .max(max_abs_diff(&a.cap_ground, &b.cap_ground))
+}
+
+fn bench_size(size: &SizeSpec) -> SizeReport {
+    let layout = BusSpec::new(size.bits).segments(size.segments).build();
+    let cfg = ExtractionConfig::paper_default();
+    let mut phases = Vec::new();
+
+    // Phase 1: parasitic extraction (inductance + capacitance tables).
+    let ((para_s, para_p), (ts, tp)) = bench_pair(REPS, || extract(&layout, &cfg));
+    let n = para_s.len();
+    phases.push(PhaseRow {
+        phase: "extract",
+        serial_s: ts,
+        parallel_s: tp,
+        max_abs_diff: parasitics_diff(&para_s, &para_p),
+    });
+
+    // Phase 2: S = L⁻¹ (Cholesky factor + inverse of the SPD L matrix).
+    let l = &para_s.inductance;
+    let invert = || {
+        Cholesky::new(l)
+            .expect("L is SPD")
+            .inverse()
+            .expect("inverse of SPD factor")
+    };
+    let ((inv_s, inv_p), (ts, tp)) = bench_pair(REPS, invert);
+    phases.push(PhaseRow {
+        phase: "invert S=L^-1",
+        serial_s: ts,
+        parallel_s: tp,
+        max_abs_diff: max_abs_diff(inv_s.as_slice(), inv_p.as_slice()),
+    });
+
+    // Phase 3: dense LU factorization (+ one solve so results compare).
+    let rhs: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 / n as f64).collect();
+    let factor_solve = || {
+        let lu = LuFactor::new(l).expect("L is nonsingular");
+        lu.solve(&rhs).expect("solve succeeds")
+    };
+    let ((x_s, x_p), (ts, tp)) = bench_pair(REPS, factor_solve);
+    phases.push(PhaseRow {
+        phase: "lu factor",
+        serial_s: ts,
+        parallel_s: tp,
+        max_abs_diff: max_abs_diff(&x_s, &x_p),
+    });
+
+    // Phases 4 and 5 run the full model pipeline; build once per column.
+    let first_signal = layout.signal_nets().first().copied().unwrap_or(0);
+    let exp = Experiment::new(
+        layout,
+        &cfg,
+        DriveConfig::paper_default().aggressors(vec![first_signal]),
+    );
+    let tspec = TransientSpec::new(0.2e-9, 1e-12);
+    let acspec = AcSpec::log_sweep(1e8, 1e10, 4);
+
+    let transient = || {
+        let built = exp.build(ModelKind::VpecFull).expect("model builds");
+        let (res, _) = built.run_transient(&tspec).expect("transient runs");
+        built.far_voltage(&res, 0).expect("net 0 recorded")
+    };
+    let ((w_s, w_p), (ts, tp)) = bench_pair(1, transient);
+    phases.push(PhaseRow {
+        phase: "transient",
+        serial_s: ts,
+        parallel_s: tp,
+        max_abs_diff: max_abs_diff(&w_s, &w_p),
+    });
+
+    let ac = || {
+        let built = exp.build(ModelKind::VpecFull).expect("model builds");
+        let (res, _) = built.run_ac(&acspec).expect("AC sweep runs");
+        res.magnitude(built.model.far_nodes[0]).expect("far node")
+    };
+    let ((m_s, m_p), (ts, tp)) = bench_pair(1, ac);
+    phases.push(PhaseRow {
+        phase: "ac sweep",
+        serial_s: ts,
+        parallel_s: tp,
+        max_abs_diff: max_abs_diff(&m_s, &m_p),
+    });
+
+    SizeReport {
+        name: size.name,
+        bits: size.bits,
+        segments: size.segments,
+        filaments: n,
+        phases,
+    }
+}
+
+/// Runs `f` at 1 worker and at [`PARALLEL_THREADS`] workers, returning
+/// both results and both best-of-`reps` wall times.
+fn bench_pair<R>(reps: usize, f: impl Fn() -> R) -> ((R, R), (f64, f64)) {
+    let (r1, t1) = at_threads(1, || best_of(reps, &f));
+    let (rp, tp) = at_threads(PARALLEL_THREADS, || best_of(reps, &f));
+    ((r1, rp), (t1, tp))
+}
+
+fn render_json(reports: &[SizeReport], hw: usize, quick: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"perf\",");
+    let _ = writeln!(out, "  \"available_parallelism\": {hw},");
+    let _ = writeln!(out, "  \"parallel_threads\": {PARALLEL_THREADS},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"sizes\": [");
+    for (i, rep) in reports.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", rep.name);
+        let _ = writeln!(out, "      \"bits\": {},", rep.bits);
+        let _ = writeln!(out, "      \"segments\": {},", rep.segments);
+        let _ = writeln!(out, "      \"filaments\": {},", rep.filaments);
+        let _ = writeln!(out, "      \"phases\": [");
+        for (j, p) in rep.phases.iter().enumerate() {
+            let ratio = if p.parallel_s > 0.0 {
+                p.serial_s / p.parallel_s
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"phase\": \"{}\",", p.phase);
+            let _ = writeln!(out, "          \"serial_seconds\": {:.6e},", p.serial_s);
+            let _ = writeln!(out, "          \"parallel_seconds\": {:.6e},", p.parallel_s);
+            let _ = writeln!(out, "          \"speedup\": {ratio:.3},");
+            let _ = writeln!(out, "          \"max_abs_diff\": {:.3e}", p.max_abs_diff);
+            let comma = if j + 1 < rep.phases.len() { "," } else { "" };
+            let _ = writeln!(out, "        }}{comma}");
+        }
+        let _ = writeln!(out, "      ]");
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -10,7 +10,10 @@ use crate::mna::{add_source_rhs, assemble, MnaLayout};
 use crate::netlist::Circuit;
 use crate::result::AcResult;
 use crate::solver::{Factored, SolverKind};
-use vpec_numerics::Complex64;
+use vpec_numerics::{pool, Complex64, Pool};
+
+/// Minimum sweep points per worker before the AC sweep goes parallel.
+const AC_MIN_POINTS_PER_THREAD: usize = 4;
 
 /// AC sweep specification.
 #[derive(Debug, Clone)]
@@ -83,8 +86,12 @@ pub fn run_ac(ckt: &Circuit, spec: &AcSpec) -> Result<AcResult, CircuitError> {
         });
     }
     let layout = MnaLayout::new(ckt);
-    let mut data = Vec::with_capacity(spec.frequencies.len());
-    for &f in &spec.frequencies {
+    // Each sweep point is an independent assemble + factor + solve, so the
+    // sweep maps over frequencies in parallel. Results come back in sweep
+    // order; on failure the error reported is the one at the lowest
+    // failing frequency, matching the serial loop's behaviour.
+    let nt = pool::threads_for(spec.frequencies.len(), AC_MIN_POINTS_PER_THREAD);
+    let solved = Pool::with_threads(nt).par_map(&spec.frequencies, |_, &f| {
         let omega = 2.0 * std::f64::consts::PI * f;
         let a = assemble::<Complex64>(
             ckt,
@@ -108,7 +115,11 @@ pub fn run_ac(ckt: &Circuit, spec: &AcSpec) -> Result<AcResult, CircuitError> {
             }
             other => other,
         })?;
-        data.push(factored.solve(&rhs)?);
+        factored.solve(&rhs)
+    });
+    let mut data = Vec::with_capacity(spec.frequencies.len());
+    for point in solved {
+        data.push(point?);
     }
     Ok(AcResult {
         freqs: spec.frequencies.clone(),

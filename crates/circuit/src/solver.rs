@@ -243,16 +243,37 @@ impl<T: Scalar> Factored<T> {
 
     /// Solves `A·x = b`.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, CircuitError> {
+        let mut x = Vec::with_capacity(b.len());
+        let mut scratch = Vec::new();
+        self.solve_into(b, &mut x, &mut scratch)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into caller-owned buffers. `x` receives the
+    /// solution; `scratch` is working storage for the sparse path's
+    /// permutations. Both reuse their capacity across calls — the
+    /// transient loop calls this once per step, allocation-free once warm.
+    pub fn solve_into(
+        &self,
+        b: &[T],
+        x: &mut Vec<T>,
+        scratch: &mut Vec<T>,
+    ) -> Result<(), CircuitError> {
         match self {
-            Factored::Dense(lu) => Ok(lu.solve(b)?),
+            Factored::Dense(lu) => Ok(lu.solve_into(b, x)?),
             Factored::Sparse { lu, perm } => {
-                let pb: Vec<T> = perm.iter().map(|&old| b[old]).collect();
-                let px = lu.solve(&pb)?;
-                let mut x = vec![T::zero(); px.len()];
+                // scratch ← RCM-permuted b; x ← permuted solution.
+                scratch.clear();
+                scratch.extend(perm.iter().map(|&old| b[old]));
+                lu.solve_into(scratch, x)?;
+                // Un-permute through scratch, then swap back into x.
+                scratch.clear();
+                scratch.resize(x.len(), T::zero());
                 for (new, &old) in perm.iter().enumerate() {
-                    x[old] = px[new];
+                    scratch[old] = x[new];
                 }
-                Ok(x)
+                std::mem::swap(x, scratch);
+                Ok(())
             }
         }
     }

@@ -307,7 +307,20 @@ pub fn run_transient_with_report(
     let mut halvings = 0usize;
     let mut accepted = 0usize;
     let mut t = 0.0f64;
+    // Per-step scratch, allocated once: the RHS, the solution buffer and
+    // the solver's permutation scratch are all reused across steps.
     let mut rhs = vec![0.0f64; layout.dim];
+    let mut x_new: Vec<f64> = Vec::with_capacity(layout.dim);
+    let mut scratch: Vec<f64> = Vec::new();
+    // Independent sources don't change identity across steps — resolve
+    // them once instead of scanning every element per step.
+    let source_idxs: Vec<usize> = ckt
+        .elements()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Element::VSource { .. } | Element::ISource { .. }))
+        .map(|(idx, _)| idx)
+        .collect();
 
     // Step while more than half a step of simulated time remains — for an
     // un-retried run this reproduces exactly `round(t_stop/dt)` steps.
@@ -316,12 +329,10 @@ pub fn run_transient_with_report(
         rhs.iter_mut().for_each(|v| *v = 0.0);
 
         // Independent sources at the new time point.
-        for (idx, e) in ckt.elements().iter().enumerate() {
-            match e {
-                Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
-                    add_source_rhs(&mut rhs, &layout, idx, e, wave.value(t_new));
-                }
-                _ => {}
+        for &idx in &source_idxs {
+            let e = &ckt.elements()[idx];
+            if let Element::VSource { wave, .. } | Element::ISource { wave, .. } = e {
+                add_source_rhs(&mut rhs, &layout, idx, e, wave.value(t_new));
             }
         }
         // Capacitor companion history: current source Geq·v_prev (+ i_prev
@@ -344,7 +355,7 @@ pub fn run_transient_with_report(
             rhs[s.br] = -(if trap { s.v_prev } else { 0.0 }) - coef * flux;
         }
 
-        let mut x_new = factored.solve(&rhs)?;
+        factored.solve_into(&rhs, &mut x_new, &mut scratch)?;
         if poison == Some(accepted) && !x_new.is_empty() {
             x_new[0] = f64::NAN; // injected fault, consumed once
             poison = None;
@@ -391,7 +402,9 @@ pub fn run_transient_with_report(
             s.v_prev = va - vb;
         }
 
-        x = x_new;
+        // Swap rather than move so x_new's buffer survives for the next
+        // step's solve_into.
+        std::mem::swap(&mut x, &mut x_new);
         t = t_new;
         accepted += 1;
         times.push(t);

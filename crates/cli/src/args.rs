@@ -61,6 +61,9 @@ pub struct ParsedArgs {
     pub threshold: f64,
     /// Output path.
     pub output: Option<String>,
+    /// Worker-thread override for the parallel numerics layer
+    /// (`--threads N`; `None` = resolve from `VPEC_THREADS` / hardware).
+    pub threads: Option<usize>,
 }
 
 impl Default for ParsedArgs {
@@ -79,6 +82,7 @@ impl Default for ParsedArgs {
             probes: Vec::new(),
             threshold: 10e-3,
             output: None,
+            threads: None,
         }
     }
 }
@@ -216,6 +220,15 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
             "--threshold" => {
                 out.threshold = parse_value(value("volts")?).map_err(CliError::usage)?;
             }
+            "--threads" => {
+                let n: usize = value("worker count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--threads must be an integer"))?;
+                if n == 0 {
+                    return Err(CliError::usage("--threads must be at least 1"));
+                }
+                out.threads = Some(n);
+            }
             "-o" | "--output" => out.output = Some(value("path")?.clone()),
             other => return Err(CliError::usage(format!("unknown option: {other}"))),
         }
@@ -301,6 +314,15 @@ mod tests {
         assert_eq!(a.command, Command::Noise);
         assert_eq!(a.structure, Structure::Spiral { turns: 2 });
         assert!((a.threshold - 10e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let a = parse_args(&argv("simulate --threads 4")).unwrap();
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(parse_args(&argv("simulate")).unwrap().threads, None);
+        assert!(parse_args(&argv("simulate --threads 0")).is_err());
+        assert!(parse_args(&argv("simulate --threads x")).is_err());
     }
 
     #[test]

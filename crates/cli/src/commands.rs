@@ -114,6 +114,7 @@ pub fn model(args: &ParsedArgs) -> Result<String, CliError> {
     let rep = model.passivity_report();
     let mut out = String::new();
     let _ = writeln!(out, "kind: {}", args.kind.label());
+    let _ = writeln!(out, "threads: {}", vpec_numerics::pool::max_threads());
     let _ = writeln!(out, "built in {:.2} ms", secs * 1e3);
     let _ = writeln!(
         out,
@@ -182,6 +183,9 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         res.len(),
         secs * 1e3
     );
+    for line in report.perf_summary() {
+        let _ = writeln!(out, "{line}");
+    }
     for line in report.lines() {
         let _ = writeln!(out, "{line}");
     }
@@ -297,6 +301,9 @@ pub fn export(args: &ParsedArgs) -> Result<String, CliError> {
 ///
 /// Propagates the per-command errors.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    if let Some(n) = args.threads {
+        vpec_numerics::pool::set_threads(n);
+    }
     match args.command {
         crate::Command::Extract => extract(args),
         crate::Command::Model => model(args),
@@ -381,6 +388,16 @@ mod tests {
         let _ = std::fs::remove_file(&tmp);
         // Missing -o is a usage error.
         assert!(run_line("export --bits 3").is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_applied_and_reported() {
+        let out = run_line("simulate --bits 3 --threads 1 --tstop 0.05n --probe 0").unwrap();
+        assert!(out.contains("threads: 1"));
+        assert!(out.contains("build phase"));
+        assert!(out.contains("solve phase"));
+        let model = run_line("model --bits 4 --kind vpec-full --threads 1").unwrap();
+        assert!(model.contains("threads: 1"));
     }
 
     #[test]

@@ -88,6 +88,9 @@ COMMON OPTIONS:
   --dt T            time step (default 1p seconds)
   --probe LIST      comma-separated net indices to record (default: all)
   --threshold V     noise-margin threshold in volts (noise command)
+  --threads N       worker threads for the parallel numerics layer
+                    (default: VPEC_THREADS env, then hardware count;
+                    results are bit-identical at any thread count)
   -o FILE           output file (simulate: CSV; export: SPICE deck)
 
 DIAGNOSTICS:

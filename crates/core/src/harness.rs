@@ -200,6 +200,15 @@ pub struct SolveReport {
     pub repair: Option<RepairReport>,
     /// Guarded-transient diagnostics (`None` until a transient ran).
     pub transient: Option<TransientDiagnostics>,
+    /// Effective worker count of the parallel numerics layer (0 when not
+    /// recorded).
+    pub threads: usize,
+    /// Wall-clock seconds of the model-build phase (extraction through
+    /// netlist lowering), when recorded.
+    pub build_seconds: Option<f64>,
+    /// Wall-clock seconds of the analysis phase (transient or AC solve),
+    /// when recorded.
+    pub solve_seconds: Option<f64>,
 }
 
 impl SolveReport {
@@ -229,6 +238,23 @@ impl SolveReport {
                     t.final_dt
                 ));
             }
+        }
+        out
+    }
+
+    /// Performance lines: effective thread count and per-phase wall time.
+    /// Kept separate from [`SolveReport::lines`] — perf figures are
+    /// routine telemetry, not a degradation signal.
+    pub fn perf_summary(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.threads > 0 {
+            out.push(format!("threads: {}", self.threads));
+        }
+        if let Some(s) = self.build_seconds {
+            out.push(format!("build phase: {:.3} ms", s * 1e3));
+        }
+        if let Some(s) = self.solve_seconds {
+            out.push(format!("solve phase: {:.3} ms", s * 1e3));
         }
         out
     }
@@ -279,11 +305,15 @@ impl BuiltModel {
     ) -> Result<(TransientResult, SolveReport, f64), CoreError> {
         let t0 = Instant::now();
         let (res, diag) = run_transient_with_report(&self.model.circuit, spec)?;
+        let solve_seconds = t0.elapsed().as_secs_f64();
         let report = SolveReport {
             repair: self.repair.clone(),
             transient: Some(diag),
+            threads: vpec_numerics::pool::max_threads(),
+            build_seconds: Some(self.build_seconds),
+            solve_seconds: Some(solve_seconds),
         };
-        Ok((res, report, t0.elapsed().as_secs_f64()))
+        Ok((res, report, solve_seconds))
     }
 
     /// Runs an AC sweep, returning the result and wall-clock seconds.

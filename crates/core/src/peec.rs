@@ -10,6 +10,11 @@ use crate::{CoreError, DriveConfig};
 use vpec_circuit::{Circuit, ElementId, NodeId, Waveform};
 use vpec_extract::Parasitics;
 use vpec_geometry::Layout;
+use vpec_numerics::{pool, Pool};
+
+/// Minimum matrix rows per worker before the mutual-pair gather goes
+/// parallel.
+const GATHER_MIN_ROWS_PER_THREAD: usize = 32;
 
 /// A model netlist plus the probe nodes of each net.
 #[derive(Debug, Clone)]
@@ -159,16 +164,28 @@ pub fn build_peec(
         )?;
         l_ids.push(id);
     }
-    // Dense mutual coupling.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let m = parasitics.inductance[(i, j)];
-            if m != 0.0 {
-                model
-                    .circuit
-                    .add_mutual(&format!("k{i}_{j}"), l_ids[i], l_ids[j], m)?;
-            }
-        }
+    // Dense mutual coupling. The O(n²) scan over the upper triangle is
+    // row-partitioned (netlist insertion itself stays serial — `Circuit`
+    // is single-writer); flattening row results in index order reproduces
+    // the serial stamping order exactly.
+    let nt = pool::threads_for(n, GATHER_MIN_ROWS_PER_THREAD);
+    let pairs: Vec<(usize, usize, f64)> = Pool::with_threads(nt)
+        .par_map_index(n, |i| {
+            let row = parasitics.inductance.row(i);
+            row.iter()
+                .enumerate()
+                .skip(i + 1)
+                .filter(|&(_, &m)| m != 0.0)
+                .map(|(j, &m)| (i, j, m))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    for (i, j, m) in pairs {
+        model
+            .circuit
+            .add_mutual(&format!("k{i}_{j}"), l_ids[i], l_ids[j], m)?;
     }
     Ok(model)
 }

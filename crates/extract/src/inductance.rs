@@ -18,7 +18,10 @@
 
 use vpec_geometry::discretize::MU0;
 use vpec_geometry::Filament;
-use vpec_numerics::DenseMatrix;
+use vpec_numerics::{pool, DenseMatrix, Pool};
+
+/// Minimum matrix rows per worker before assembly goes parallel.
+const ASSEMBLY_MIN_ROWS_PER_THREAD: usize = 8;
 
 /// `μ₀ / 4π` (H/m) — exactly 1e-7 for the classical μ₀.
 const MU0_OVER_4PI: f64 = MU0 / (4.0 * std::f64::consts::PI);
@@ -123,12 +126,25 @@ pub fn mutual_at_distance(a: &Filament, b: &Filament, d_override: f64) -> f64 {
 pub fn partial_inductance_matrix(filaments: &[Filament]) -> DenseMatrix<f64> {
     let n = filaments.len();
     let mut l = DenseMatrix::<f64>::zeros(n, n);
+    // Row-partitioned assembly: each worker fills whole rows of the upper
+    // triangle (diagonal included). Rows are distributed round-robin, which
+    // balances the triangular per-row cost. Each (i, j) integral is
+    // evaluated with the same argument order as the serial loop, so the
+    // matrix is bit-identical at any thread count.
+    let nt = pool::threads_for(n, ASSEMBLY_MIN_ROWS_PER_THREAD);
+    Pool::with_threads(nt).par_chunks_mut(l.as_mut_slice(), n.max(1), |off, row| {
+        let i = off / n.max(1);
+        row[i] = self_inductance(&filaments[i]);
+        for (j, slot) in row.iter_mut().enumerate().skip(i + 1) {
+            *slot = mutual_inductance(&filaments[i], &filaments[j]);
+        }
+    });
+    // Mirror the strictly-upper triangle into the lower (serial: cheap
+    // copies, and `mutual_inductance(a, b)` is only symmetric to rounding,
+    // so mirroring — not recomputation — preserves exact symmetry).
     for i in 0..n {
-        l[(i, i)] = self_inductance(&filaments[i]);
         for j in (i + 1)..n {
-            let m = mutual_inductance(&filaments[i], &filaments[j]);
-            l[(i, j)] = m;
-            l[(j, i)] = m;
+            l[(j, i)] = l[(i, j)];
         }
     }
     l

@@ -5,7 +5,11 @@ use crate::inductance::partial_inductance_matrix;
 use crate::resistance::{ac_resistance, dc_resistance, substrate_loss_resistance};
 use crate::ExtractionConfig;
 use vpec_geometry::Layout;
-use vpec_numerics::DenseMatrix;
+use vpec_numerics::{pool, DenseMatrix, Pool};
+
+/// Minimum filaments per worker before the per-filament tables and the
+/// O(n²) coupling scan go parallel.
+const EXTRACT_MIN_ITEMS_PER_THREAD: usize = 16;
 
 /// Extracted RLCM parasitics of a layout, indexed by filament in
 /// [`Layout::filaments`] order.
@@ -64,10 +68,9 @@ pub fn extract(layout: &Layout, config: &ExtractionConfig) -> Parasitics {
 
     let inductance = partial_inductance_matrix(fils);
 
-    let mut resistance = Vec::with_capacity(n);
-    let mut cap_ground = Vec::with_capacity(n);
-    let mut lengths = Vec::with_capacity(n);
-    for f in fils {
+    // Per-filament tables: independent per entry, mapped in order.
+    let pool = Pool::with_threads(pool::threads_for(n, EXTRACT_MIN_ITEMS_PER_THREAD));
+    let per_fil = pool.par_map(fils, |_, f| {
         let mut r = if config.skin_effect {
             ac_resistance(f, config.resistivity, config.frequency)
         } else {
@@ -76,28 +79,42 @@ pub fn extract(layout: &Layout, config: &ExtractionConfig) -> Parasitics {
         if let Some(sub) = &config.substrate {
             r += substrate_loss_resistance(f, sub, config.frequency);
         }
+        let cg = ground_capacitance(f, config.ground_height, config.eps_r);
+        (r, cg, f.length)
+    });
+    let mut resistance = Vec::with_capacity(n);
+    let mut cap_ground = Vec::with_capacity(n);
+    let mut lengths = Vec::with_capacity(n);
+    for (r, cg, len) in per_fil {
         resistance.push(r);
-        cap_ground.push(ground_capacitance(f, config.ground_height, config.eps_r));
-        lengths.push(f.length);
+        cap_ground.push(cg);
+        lengths.push(len);
     }
 
-    let mut cap_coupling = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
+    // Coupling scan: each worker owns the row `i` of the (i, j>i) pair
+    // space; flattening row results in index order reproduces the serial
+    // pair ordering exactly.
+    let cap_coupling: Vec<(usize, usize, f64)> = pool
+        .par_map_index(n, |i| {
             let a = &fils[i];
-            let b = &fils[j];
-            if !a.is_parallel_to(b) {
-                continue;
+            let mut row = Vec::new();
+            for (j, b) in fils.iter().enumerate().skip(i + 1) {
+                if !a.is_parallel_to(b) {
+                    continue;
+                }
+                if a.radial_distance_to(b) > config.cap_coupling_range {
+                    continue;
+                }
+                let c = coupling_capacitance(a, b, config.ground_height, config.eps_r);
+                if c > 0.0 {
+                    row.push((i, j, c));
+                }
             }
-            if a.radial_distance_to(b) > config.cap_coupling_range {
-                continue;
-            }
-            let c = coupling_capacitance(a, b, config.ground_height, config.eps_r);
-            if c > 0.0 {
-                cap_coupling.push((i, j, c));
-            }
-        }
-    }
+            row
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     Parasitics {
         inductance,

@@ -9,7 +9,11 @@
 //!   Cholesky factorization succeeds, which is exactly how the passivity
 //!   checker certifies Theorem 1 (`Ĝ` positive definite) on concrete models.
 
+use crate::pool::{self, Pool};
 use crate::{DenseMatrix, NumericsError};
+
+/// Minimum columns per worker before the inverse goes parallel.
+const INVERSE_MIN_COLS_PER_THREAD: usize = 8;
 
 /// Cholesky factorization `A = G·Gᵀ` of a symmetric positive-definite real
 /// matrix (G lower-triangular).
@@ -45,6 +49,17 @@ impl Cholesky {
     /// * [`NumericsError::NotPositiveDefinite`] if a diagonal pivot is not
     ///   strictly positive — i.e. the matrix fails the passivity criterion.
     pub fn new(a: &DenseMatrix<f64>) -> Result<Self, NumericsError> {
+        Self::with_threads(a, pool::max_threads())
+    }
+
+    /// Factors with an explicit worker count (`1` forces the serial
+    /// left-looking elimination). Parallel results are bit-identical to
+    /// serial — the striped update preserves per-row arithmetic order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::new`].
+    pub fn with_threads(a: &DenseMatrix<f64>, threads: usize) -> Result<Self, NumericsError> {
         if !a.is_square() {
             return Err(NumericsError::NotSquare {
                 found: (a.rows(), a.cols()),
@@ -52,24 +67,7 @@ impl Cholesky {
         }
         let n = a.rows();
         let mut g = DenseMatrix::<f64>::zeros(n, n);
-        for j in 0..n {
-            let mut d = a[(j, j)];
-            for k in 0..j {
-                d -= g[(j, k)] * g[(j, k)];
-            }
-            if d <= 0.0 || !d.is_finite() {
-                return Err(NumericsError::NotPositiveDefinite { row: j });
-            }
-            let dj = d.sqrt();
-            g[(j, j)] = dj;
-            for i in (j + 1)..n {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= g[(i, k)] * g[(j, k)];
-                }
-                g[(i, j)] = s / dj;
-            }
-        }
+        pool::cholesky_eliminate(a.as_slice(), g.as_mut_slice(), n, threads)?;
         Ok(Cholesky { g })
     }
 
@@ -98,20 +96,27 @@ impl Cholesky {
             });
         }
         let mut x = b.to_vec();
+        // Forward sweep G·y = b, zipping row slices against the solved
+        // prefix of x (no per-element bounds checks).
         for i in 0..n {
+            let (solved, rest) = x.split_at_mut(i);
             let row = self.g.row(i);
-            let mut acc = x[i];
-            for (j, xv) in x.iter().enumerate().take(i) {
-                acc -= row[j] * *xv;
+            let mut acc = rest[0];
+            for (l, v) in row[..i].iter().zip(solved.iter()) {
+                acc -= *l * *v;
             }
-            x[i] = acc / row[i];
+            rest[0] = acc / row[i];
         }
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for (j, xj) in x.iter().enumerate().skip(i + 1) {
-                acc -= self.g[(j, i)] * *xj;
+        // Back sweep Gᵀ·x = y in saxpy form: as each xⱼ finalizes, its
+        // contribution is swept into the remaining prefix using row j of G
+        // as a contiguous slice (instead of striding down column j).
+        for j in (0..n).rev() {
+            let row = self.g.row(j);
+            let xj = x[j] / row[j];
+            x[j] = xj;
+            for (xi, &gji) in x[..j].iter_mut().zip(row[..j].iter()) {
+                *xi -= gji * xj;
             }
-            x[i] = acc / self.g[(i, i)];
         }
         Ok(x)
     }
@@ -124,14 +129,19 @@ impl Cholesky {
     /// `Result` mirrors [`Cholesky::solve`].
     pub fn inverse(&self) -> Result<DenseMatrix<f64>, NumericsError> {
         let n = self.dim();
-        let mut inv = DenseMatrix::zeros(n, n);
-        let mut e = vec![0.0; n];
-        for j in 0..n {
+        // Columns of the inverse are independent unit-vector solves — the
+        // `S = L⁻¹` hot path of the full VPEC extraction. par_map_index is
+        // order-preserving, so the result matches the serial loop exactly.
+        let nt = pool::threads_for(n, INVERSE_MIN_COLS_PER_THREAD);
+        let cols = Pool::with_threads(nt).par_map_index(n, |j| {
+            let mut e = vec![0.0; n];
             e[j] = 1.0;
-            let col = self.solve(&e)?;
-            e[j] = 0.0;
-            for (i, v) in col.into_iter().enumerate() {
-                inv[(i, j)] = v;
+            self.solve(&e).expect("unit vector has factored dimension")
+        });
+        let mut inv = DenseMatrix::zeros(n, n);
+        for (j, col) in cols.iter().enumerate() {
+            for (i, v) in col.iter().enumerate() {
+                inv[(i, j)] = *v;
             }
         }
         Ok(inv)

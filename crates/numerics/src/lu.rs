@@ -5,7 +5,11 @@
 //! matrix"); this factorization is the `O(N³)` workhorse whose cost the
 //! windowed wVPEC extraction is designed to avoid.
 
+use crate::pool::{self, Pool};
 use crate::{DenseMatrix, NumericsError, Scalar};
+
+/// Minimum columns per worker before multi-RHS solves go parallel.
+const SOLVE_MIN_COLS_PER_THREAD: usize = 8;
 
 /// An LU factorization `P·A = L·U` with partial (row) pivoting.
 ///
@@ -51,6 +55,18 @@ impl<T: Scalar> LuFactor<T> {
     /// * [`NumericsError::Singular`] if a pivot column is exactly zero below
     ///   the diagonal.
     pub fn new(a: &DenseMatrix<T>) -> Result<Self, NumericsError> {
+        Self::with_threads(a, pool::max_threads())
+    }
+
+    /// Factors `A` with an explicit worker count (`1` forces the serial
+    /// elimination). Results are bit-identical for any thread count — the
+    /// parallel path stripes the trailing-submatrix update over rows
+    /// without changing per-row arithmetic order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LuFactor::new`].
+    pub fn with_threads(a: &DenseMatrix<T>, threads: usize) -> Result<Self, NumericsError> {
         if !a.is_square() {
             return Err(NumericsError::NotSquare {
                 found: (a.rows(), a.cols()),
@@ -58,45 +74,7 @@ impl<T: Scalar> LuFactor<T> {
         }
         let n = a.rows();
         let mut lu = a.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-
-        for k in 0..n {
-            // Partial pivoting: largest modulus in column k at or below row k.
-            let mut pivot_row = k;
-            let mut pivot_mag = lu[(k, k)].modulus();
-            for i in (k + 1)..n {
-                let mag = lu[(i, k)].modulus();
-                if mag > pivot_mag {
-                    pivot_mag = mag;
-                    pivot_row = i;
-                }
-            }
-            if pivot_mag == 0.0 {
-                return Err(NumericsError::Singular { step: k });
-            }
-            if pivot_row != k {
-                perm.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(pivot_row, j)];
-                    lu[(pivot_row, j)] = tmp;
-                }
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let factor = lu[(i, k)] / pivot;
-                lu[(i, k)] = factor;
-                if factor.is_zero() {
-                    continue;
-                }
-                for j in (k + 1)..n {
-                    let ukj = lu[(k, j)];
-                    lu[(i, j)] -= factor * ukj;
-                }
-            }
-        }
+        let (perm, perm_sign) = pool::lu_eliminate(lu.as_mut_slice(), n, threads)?;
         Ok(LuFactor { lu, perm, perm_sign })
     }
 
@@ -111,6 +89,20 @@ impl<T: Scalar> LuFactor<T> {
     ///
     /// Returns [`NumericsError::DimensionMismatch`] if `b.len() != dim()`.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericsError> {
+        let mut x = Vec::with_capacity(self.dim());
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer, reusing its capacity.
+    ///
+    /// The transient inner loop calls this once per time step; reusing the
+    /// buffer avoids a per-step allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) -> Result<(), NumericsError> {
         let n = self.dim();
         if b.len() != n {
             return Err(NumericsError::DimensionMismatch {
@@ -119,25 +111,35 @@ impl<T: Scalar> LuFactor<T> {
                 found: (b.len(), 1),
             });
         }
-        // Apply permutation, then forward/back substitution.
-        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
+        self.substitute_in_place(x);
+        Ok(())
+    }
+
+    /// Forward/back substitution on an already-permuted right-hand side.
+    /// Both sweeps zip row slices against the solved prefix/suffix of `x`,
+    /// avoiding per-element bounds checks.
+    fn substitute_in_place(&self, x: &mut [T]) {
+        let n = x.len();
         for i in 1..n {
+            let (solved, rest) = x.split_at_mut(i);
             let row = self.lu.row(i);
-            let mut acc = x[i];
-            for (j, xv) in x.iter().enumerate().take(i) {
-                acc -= row[j] * *xv;
+            let mut acc = rest[0];
+            for (l, v) in row[..i].iter().zip(solved.iter()) {
+                acc -= *l * *v;
             }
-            x[i] = acc;
+            rest[0] = acc;
         }
         for i in (0..n).rev() {
+            let (head, solved) = x.split_at_mut(i + 1);
             let row = self.lu.row(i);
-            let mut acc = x[i];
-            for (j, xv) in x.iter().enumerate().skip(i + 1) {
-                acc -= row[j] * *xv;
+            let mut acc = head[i];
+            for (u, v) in row[i + 1..].iter().zip(solved.iter()) {
+                acc -= *u * *v;
             }
-            x[i] = acc / row[i];
+            head[i] = acc / row[i];
         }
-        Ok(x)
     }
 
     /// Solves for several right-hand sides given as columns of `B`.
@@ -154,15 +156,19 @@ impl<T: Scalar> LuFactor<T> {
                 found: (b.rows(), b.cols()),
             });
         }
+        // Columns are independent solves; map them in parallel (order-
+        // preserving, so results match the serial column-by-column loop
+        // exactly) and gather into the output.
+        let nt = pool::threads_for(b.cols(), SOLVE_MIN_COLS_PER_THREAD);
+        let cols = Pool::with_threads(nt).par_map_index(b.cols(), |j| {
+            let mut x: Vec<T> = self.perm.iter().map(|&p| b[(p, j)]).collect();
+            self.substitute_in_place(&mut x);
+            x
+        });
         let mut out = DenseMatrix::zeros(n, b.cols());
-        let mut col = vec![T::zero(); n];
-        for j in 0..b.cols() {
-            for (i, c) in col.iter_mut().enumerate() {
-                *c = b[(i, j)];
-            }
-            let x = self.solve(&col)?;
-            for (i, v) in x.into_iter().enumerate() {
-                out[(i, j)] = v;
+        for (j, x) in cols.iter().enumerate() {
+            for (i, v) in x.iter().enumerate() {
+                out[(i, j)] = *v;
             }
         }
         Ok(out)

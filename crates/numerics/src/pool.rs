@@ -1,0 +1,803 @@
+//! Scoped worker-pool primitives for the parallel numerics layer.
+//!
+//! The workspace is hermetic (no rayon), so this module provides the
+//! minimal set of data-parallel building blocks the hot paths need, built
+//! on [`std::thread::scope`]:
+//!
+//! * [`Pool::par_chunks_mut`] — disjoint mutable chunks of a slice
+//!   (row-partitioned matrix assembly, row-parallel matmul);
+//! * [`Pool::par_map`] / [`Pool::par_map_index`] — independent map over
+//!   items or indices (per-column inverses, per-frequency AC solves,
+//!   per-filament parasitics);
+//! * [`Pool::par_join`] — two-way fork/join;
+//! * [`lu_eliminate`] / [`cholesky_eliminate`] — barrier-synchronized
+//!   striped dense eliminations (panel-parallel trailing-submatrix
+//!   updates) used by [`crate::LuFactor`] and [`crate::Cholesky`].
+//!
+//! # Thread count
+//!
+//! The worker count comes from, in priority order: a process-wide override
+//! ([`set_threads`], used by the CLI `--threads` flag), the `VPEC_THREADS`
+//! environment variable, and [`std::thread::available_parallelism`].
+//! A count of 1 is a strict serial fallback: every primitive runs inline
+//! on the caller's thread with no spawning.
+//!
+//! # Determinism
+//!
+//! Every parallel path is **bit-compatible** with its serial counterpart:
+//! work is partitioned into units whose per-element arithmetic runs in
+//! exactly the serial order, and units write disjoint memory. Results are
+//! therefore identical for any thread count (verified by the
+//! `par_equivalence` test suite).
+//!
+//! # Safety
+//!
+//! The workspace forbids `unsafe_code` everywhere except the striped
+//! elimination engine at the bottom of this module, where scoped threads
+//! need simultaneous mutable access to *disjoint rows* of one matrix. The
+//! `unsafe` surface is one small row-aliasing wrapper ([`SharedRows`])
+//! with the protocol documented at the definition site; nothing outside
+//! this module can reach it.
+
+use crate::{NumericsError, Scalar};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound on the worker count — far above any sane machine, it only
+/// guards against `VPEC_THREADS=1000000` exhausting process resources.
+const MAX_WORKERS: usize = 256;
+
+/// Sets a process-wide worker-count override (the CLI `--threads` flag).
+///
+/// `0` clears the override, restoring the `VPEC_THREADS` /
+/// `available_parallelism` resolution.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n.min(MAX_WORKERS), Ordering::Relaxed);
+}
+
+fn hardware_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves the effective worker count: [`set_threads`] override first,
+/// then the `VPEC_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn max_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("VPEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n.min(MAX_WORKERS);
+            }
+        }
+    }
+    hardware_threads()
+}
+
+/// Worker count for a task of `rows` independent row-sized units, keeping
+/// at least `min_rows_per_thread` units per worker so tiny problems stay
+/// serial (spawn overhead would dominate).
+pub fn threads_for(rows: usize, min_rows_per_thread: usize) -> usize {
+    let nt = max_threads();
+    if nt <= 1 || min_rows_per_thread == 0 {
+        return 1;
+    }
+    (rows / min_rows_per_thread).clamp(1, nt)
+}
+
+/// A lightweight handle carrying a worker count. Construction is free —
+/// the "pool" spins up scoped workers per operation and joins them before
+/// returning, so there is no persistent state to manage and borrowed data
+/// can flow into the closures freely.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool using the globally resolved worker count ([`max_threads`]).
+    pub fn global() -> Self {
+        Pool {
+            threads: max_threads(),
+        }
+    }
+
+    /// A pool with an explicit worker count (clamped to at least 1).
+    /// `Pool::with_threads(1)` is the deterministic serial fallback.
+    pub fn with_threads(n: usize) -> Self {
+        Pool {
+            threads: n.clamp(1, MAX_WORKERS),
+        }
+    }
+
+    /// A strictly serial pool (equivalent to `with_threads(1)`).
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// The worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to disjoint consecutive chunks of `data`, `chunk_len`
+    /// elements each (the last chunk may be shorter). `f` receives the
+    /// element offset of the chunk start. Chunks are distributed
+    /// round-robin over the workers so triangular per-chunk costs stay
+    /// balanced. Serial fallback iterates chunks in order.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        if self.threads <= 1 || data.len() <= chunk_len {
+            for (k, c) in data.chunks_mut(chunk_len).enumerate() {
+                f(k * chunk_len, c);
+            }
+            return;
+        }
+        let nt = self.threads.min(data.len().div_ceil(chunk_len));
+        let mut lists: Vec<Vec<(usize, &mut [T])>> = (0..nt).map(|_| Vec::new()).collect();
+        for (k, c) in data.chunks_mut(chunk_len).enumerate() {
+            lists[k % nt].push((k * chunk_len, c));
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for list in lists {
+                s.spawn(move || {
+                    for (off, c) in list {
+                        f(off, c);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Maps `f` over `items`, returning results in item order. `f`
+    /// receives `(index, &item)`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let n = items.len();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        // Small chunks, round-robin: balances uneven per-item costs.
+        let chunk = n.div_ceil(self.threads * 4).max(1);
+        let nt = self.threads.min(n.div_ceil(chunk));
+        // Per worker: (element offset, input chunk, output chunk).
+        type MapChunk<'a, T, R> = (usize, &'a [T], &'a mut [Option<R>]);
+        let mut lists: Vec<Vec<MapChunk<'_, T, R>>> = (0..nt).map(|_| Vec::new()).collect();
+        for (k, (ic, oc)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate() {
+            lists[k % nt].push((k * chunk, ic, oc));
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for list in lists {
+                s.spawn(move || {
+                    for (base, ic, oc) in list {
+                        for (i, (t, o)) in ic.iter().zip(oc.iter_mut()).enumerate() {
+                            *o = Some(f(base + i, t));
+                        }
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("all chunks were processed"))
+            .collect()
+    }
+
+    /// Maps `f` over the index range `0..n`, returning results in index
+    /// order, without materializing the indices.
+    pub fn par_map_index<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let chunk = n.div_ceil(self.threads * 4).max(1);
+        let nt = self.threads.min(n.div_ceil(chunk));
+        // Per worker: (index offset, output chunk).
+        type IndexChunk<'a, R> = (usize, &'a mut [Option<R>]);
+        let mut lists: Vec<Vec<IndexChunk<'_, R>>> = (0..nt).map(|_| Vec::new()).collect();
+        for (k, oc) in out.chunks_mut(chunk).enumerate() {
+            lists[k % nt].push((k * chunk, oc));
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for list in lists {
+                s.spawn(move || {
+                    for (base, oc) in list {
+                        for (i, o) in oc.iter_mut().enumerate() {
+                            *o = Some(f(base + i));
+                        }
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("all chunks were processed"))
+            .collect()
+    }
+
+    /// Runs `a` and `b`, possibly concurrently, and returns both results.
+    /// `a` runs on the calling thread; panics from `b` are re-raised.
+    pub fn par_join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            let ra = a();
+            let rb = b();
+            return (ra, rb);
+        }
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    }
+}
+
+/// Row-striped in-place LU elimination with partial pivoting over a
+/// row-major `n × n` slice. Returns the row permutation (`perm[k]` = the
+/// original row now in position `k`) and the permutation sign.
+///
+/// With `threads == 1` (or a matrix too small to profit) this runs the
+/// plain serial right-looking elimination. With more workers, the pivot
+/// search and row swap for column `k` run on worker 0 while the others
+/// wait at a barrier, then all workers apply the trailing-submatrix update
+/// to their stripe of rows (`(i - k - 1) % nt == t`). Per-row arithmetic
+/// is identical to the serial loop, so results are bit-identical for any
+/// thread count.
+///
+/// # Errors
+///
+/// [`NumericsError::Singular`] if a pivot column is exactly zero at or
+/// below the diagonal.
+///
+/// # Panics
+///
+/// Panics if `data.len() != n * n`.
+pub fn lu_eliminate<T: Scalar>(
+    data: &mut [T],
+    n: usize,
+    threads: usize,
+) -> Result<(Vec<usize>, f64), NumericsError> {
+    assert_eq!(data.len(), n * n, "lu_eliminate: shape mismatch");
+    // The striped path needs enough trailing rows per column to amortize
+    // barrier traffic; below this the serial loop wins outright.
+    const PAR_MIN_DIM: usize = 96;
+    if threads <= 1 || n < PAR_MIN_DIM {
+        return lu_eliminate_serial(data, n);
+    }
+    lu_eliminate_striped(data, n, threads.min(MAX_WORKERS))
+}
+
+/// One trailing-row update of the right-looking LU: computes and stores
+/// the multiplier, then `row[k+1..] -= factor · urow[k+1..]`. Shared by
+/// the serial and striped paths so their arithmetic is identical.
+#[inline]
+fn lu_update_row<T: Scalar>(row: &mut [T], urow: &[T], k: usize, pivot: T) {
+    let factor = row[k] / pivot;
+    row[k] = factor;
+    if factor.is_zero() {
+        return;
+    }
+    for (rj, &uj) in row[k + 1..].iter_mut().zip(urow[k + 1..].iter()) {
+        *rj -= factor * uj;
+    }
+}
+
+fn lu_eliminate_serial<T: Scalar>(
+    data: &mut [T],
+    n: usize,
+) -> Result<(Vec<usize>, f64), NumericsError> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut perm_sign = 1.0f64;
+    for k in 0..n {
+        // Partial pivoting: largest modulus in column k at or below row k.
+        let mut pivot_row = k;
+        let mut pivot_mag = data[k * n + k].modulus();
+        for i in (k + 1)..n {
+            let mag = data[i * n + k].modulus();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = i;
+            }
+        }
+        if pivot_mag == 0.0 {
+            return Err(NumericsError::Singular { step: k });
+        }
+        if pivot_row != k {
+            perm.swap(k, pivot_row);
+            perm_sign = -perm_sign;
+            let (a, b) = data.split_at_mut(pivot_row * n);
+            a[k * n..k * n + n].swap_with_slice(&mut b[..n]);
+        }
+        let (top, trailing) = data.split_at_mut((k + 1) * n);
+        let urow = &top[k * n..];
+        let pivot = urow[k];
+        for row in trailing.chunks_mut(n) {
+            lu_update_row(row, urow, k, pivot);
+        }
+    }
+    Ok((perm, perm_sign))
+}
+
+/// Row-striped in-place Cholesky of a symmetric positive-definite matrix:
+/// reads the lower triangle of the row-major `n × n` slice `a` and fills
+/// the dense lower-triangular factor into `g` (which must be zeroed).
+/// Parallel results are bit-identical to the serial left-looking loop.
+///
+/// # Errors
+///
+/// [`NumericsError::NotPositiveDefinite`] if a diagonal pivot is not
+/// strictly positive and finite.
+///
+/// # Panics
+///
+/// Panics if the slice lengths are not `n * n`.
+pub fn cholesky_eliminate(
+    a: &[f64],
+    g: &mut [f64],
+    n: usize,
+    threads: usize,
+) -> Result<(), NumericsError> {
+    assert_eq!(a.len(), n * n, "cholesky_eliminate: shape mismatch");
+    assert_eq!(g.len(), n * n, "cholesky_eliminate: shape mismatch");
+    const PAR_MIN_DIM: usize = 96;
+    if threads <= 1 || n < PAR_MIN_DIM {
+        return cholesky_eliminate_serial(a, g, n);
+    }
+    cholesky_eliminate_striped(a, g, n, threads.min(MAX_WORKERS))
+}
+
+/// Dot of the first `j` entries of two factor rows — the subtracted term
+/// of the left-looking Cholesky. Shared by serial and striped paths.
+#[inline]
+fn chol_partial_dot(gi: &[f64], gj: &[f64], j: usize) -> f64 {
+    let mut s = 0.0;
+    for (x, y) in gi[..j].iter().zip(gj[..j].iter()) {
+        s += x * y;
+    }
+    s
+}
+
+fn cholesky_eliminate_serial(a: &[f64], g: &mut [f64], n: usize) -> Result<(), NumericsError> {
+    for j in 0..n {
+        let gj = &g[j * n..j * n + n];
+        let d = a[j * n + j] - chol_partial_dot(gj, gj, j);
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NumericsError::NotPositiveDefinite { row: j });
+        }
+        let dj = d.sqrt();
+        g[j * n + j] = dj;
+        let (top, below) = g.split_at_mut((j + 1) * n);
+        let gj = &top[j * n..];
+        for (di, gi) in below.chunks_mut(n).enumerate() {
+            let i = j + 1 + di;
+            let s = a[i * n + j] - chol_partial_dot(gi, gj, j);
+            gi[j] = s / dj;
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Striped elimination engine — the workspace's one unsafe-bearing corner.
+// ----------------------------------------------------------------------
+
+/// A row-major matrix view that hands out references to individual rows
+/// across scoped worker threads.
+///
+/// # Safety protocol
+///
+/// The compiler cannot prove disjointness of row accesses across threads,
+/// so callers of [`SharedRows::row`]/[`SharedRows::row_mut`] must uphold,
+/// per synchronization phase (phases are separated by [`Barrier::wait`],
+/// which establishes the necessary happens-before edges):
+///
+/// * a row borrowed mutably in a phase is touched by exactly one worker
+///   in that phase (the striped partitions below guarantee this), and
+/// * a row borrowed shared in a phase is mutably borrowed by no worker in
+///   that phase (pivot/factor rows are finalized before being read).
+///
+/// Both elimination drivers in this module are the only users; the type
+/// is private to keep the obligation local.
+#[allow(unsafe_code)]
+mod shared_rows {
+    pub(super) struct SharedRows<T> {
+        ptr: *mut T,
+        rows: usize,
+        cols: usize,
+    }
+
+    // SAFETY: the raw pointer refers to a `&mut [T]` that outlives the
+    // scope the workers run in; access discipline is documented above.
+    unsafe impl<T: Send + Sync> Send for SharedRows<T> {}
+    unsafe impl<T: Send + Sync> Sync for SharedRows<T> {}
+
+    impl<T> SharedRows<T> {
+        pub(super) fn new(data: &mut [T], rows: usize, cols: usize) -> Self {
+            assert_eq!(data.len(), rows * cols, "SharedRows: shape mismatch");
+            SharedRows {
+                ptr: data.as_mut_ptr(),
+                rows,
+                cols,
+            }
+        }
+
+        /// Shared view of row `i`.
+        ///
+        /// # Safety
+        ///
+        /// No thread may hold a mutable borrow of row `i` during the
+        /// current synchronization phase.
+        pub(super) unsafe fn row(&self, i: usize) -> &[T] {
+            assert!(i < self.rows, "row index out of range");
+            // SAFETY: in-bounds by the assert; aliasing per the protocol.
+            unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.cols), self.cols) }
+        }
+
+        /// Mutable view of row `i`.
+        ///
+        /// # Safety
+        ///
+        /// This thread must be the only one accessing row `i` during the
+        /// current synchronization phase.
+        #[allow(clippy::mut_from_ref)]
+        pub(super) unsafe fn row_mut(&self, i: usize) -> &mut [T] {
+            assert!(i < self.rows, "row index out of range");
+            // SAFETY: in-bounds by the assert; aliasing per the protocol.
+            unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.cols), self.cols) }
+        }
+    }
+}
+
+use shared_rows::SharedRows;
+
+/// Sentinel for "no failure" in the shared failure flags below.
+const NO_FAILURE: usize = usize::MAX;
+
+#[allow(unsafe_code)]
+fn lu_eliminate_striped<T: Scalar>(
+    data: &mut [T],
+    n: usize,
+    threads: usize,
+) -> Result<(Vec<usize>, f64), NumericsError> {
+    let nt = threads.min(n);
+    let shared = SharedRows::new(data, n, n);
+    let barrier = Barrier::new(nt);
+    let failed = AtomicUsize::new(NO_FAILURE);
+    let result: Mutex<Option<(Vec<usize>, f64)>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        for t in 0..nt {
+            let shared = &shared;
+            let barrier = &barrier;
+            let failed = &failed;
+            let result = &result;
+            s.spawn(move || {
+                let mut perm: Vec<usize> = if t == 0 { (0..n).collect() } else { Vec::new() };
+                let mut perm_sign = 1.0f64;
+                for k in 0..n {
+                    if t == 0 {
+                        // SAFETY: every other worker is parked at the
+                        // barrier below, so worker 0 has exclusive access
+                        // to the matrix during the pivot phase.
+                        let mut pivot_row = k;
+                        let mut pivot_mag = unsafe { shared.row(k) }[k].modulus();
+                        for i in (k + 1)..n {
+                            let mag = unsafe { shared.row(i) }[k].modulus();
+                            if mag > pivot_mag {
+                                pivot_mag = mag;
+                                pivot_row = i;
+                            }
+                        }
+                        if pivot_mag == 0.0 {
+                            failed.store(k, Ordering::Release);
+                        } else if pivot_row != k {
+                            perm.swap(k, pivot_row);
+                            perm_sign = -perm_sign;
+                            // SAFETY: rows k and pivot_row are distinct and
+                            // worker 0 is alone in this phase.
+                            let ra = unsafe { shared.row_mut(k) };
+                            let rb = unsafe { shared.row_mut(pivot_row) };
+                            ra.swap_with_slice(rb);
+                        }
+                    }
+                    barrier.wait();
+                    if failed.load(Ordering::Acquire) != NO_FAILURE {
+                        break;
+                    }
+                    // Update phase: all workers read the finalized pivot
+                    // row and update disjoint stripes of trailing rows.
+                    // SAFETY: row k is written by no worker in this phase.
+                    let urow = unsafe { shared.row(k) };
+                    let pivot = urow[k];
+                    let mut i = k + 1 + t;
+                    while i < n {
+                        // SAFETY: stripe `(i - k - 1) % nt == t` visits
+                        // each trailing row from exactly one worker.
+                        let row = unsafe { shared.row_mut(i) };
+                        lu_update_row(row, urow, k, pivot);
+                        i += nt;
+                    }
+                    barrier.wait();
+                }
+                if t == 0 {
+                    *result.lock().expect("result mutex poisoned") = Some((perm, perm_sign));
+                }
+            });
+        }
+    });
+
+    let step = failed.load(Ordering::Acquire);
+    if step != NO_FAILURE {
+        return Err(NumericsError::Singular { step });
+    }
+    let (perm, sign) = result
+        .into_inner()
+        .expect("result mutex poisoned")
+        .expect("worker 0 publishes the permutation");
+    Ok((perm, sign))
+}
+
+#[allow(unsafe_code)]
+fn cholesky_eliminate_striped(
+    a: &[f64],
+    g: &mut [f64],
+    n: usize,
+    threads: usize,
+) -> Result<(), NumericsError> {
+    let nt = threads.min(n);
+    let shared = SharedRows::new(g, n, n);
+    let barrier = Barrier::new(nt);
+    let failed = AtomicUsize::new(NO_FAILURE);
+
+    std::thread::scope(|s| {
+        for t in 0..nt {
+            let shared = &shared;
+            let barrier = &barrier;
+            let failed = &failed;
+            s.spawn(move || {
+                for j in 0..n {
+                    if t == 0 {
+                        // SAFETY: worker 0 is alone in this phase (the
+                        // others are parked at the barrier below); row j's
+                        // prefix was finalized in earlier phases.
+                        let gj = unsafe { shared.row_mut(j) };
+                        let d = a[j * n + j] - chol_partial_dot(gj, gj, j);
+                        if d <= 0.0 || !d.is_finite() {
+                            failed.store(j, Ordering::Release);
+                        } else {
+                            gj[j] = d.sqrt();
+                        }
+                    }
+                    barrier.wait();
+                    if failed.load(Ordering::Acquire) != NO_FAILURE {
+                        break;
+                    }
+                    // SAFETY: row j is finalized; no worker writes it in
+                    // this phase.
+                    let gj = unsafe { shared.row(j) };
+                    let dj = gj[j];
+                    let mut i = j + 1 + t;
+                    while i < n {
+                        // SAFETY: stripe partition — row i is touched by
+                        // exactly this worker in this phase. Columns < j
+                        // of row i were finalized in earlier phases
+                        // (barrier-ordered), column j is written here.
+                        let gi = unsafe { shared.row_mut(i) };
+                        let s = a[i * n + j] - chol_partial_dot(gi, gj, j);
+                        gi[j] = s / dj;
+                        i += nt;
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+
+    let row = failed.load(Ordering::Acquire);
+    if row != NO_FAILURE {
+        return Err(NumericsError::NotPositiveDefinite { row });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::XorShift64;
+
+    #[test]
+    fn thread_resolution_is_positive() {
+        assert!(max_threads() >= 1);
+        assert!(Pool::global().threads() >= 1);
+        assert_eq!(Pool::serial().threads(), 1);
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert_eq!(Pool::with_threads(7).threads(), 7);
+    }
+
+    #[test]
+    fn threads_for_keeps_small_problems_serial() {
+        assert_eq!(threads_for(1, 32), 1);
+        assert_eq!(threads_for(10, 32), 1);
+        assert!(threads_for(10_000, 32) >= 1);
+        assert_eq!(threads_for(100, 0), 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_fill() {
+        let n = 137; // deliberately not a multiple of any chunk size
+        let fill = |off: usize, c: &mut [u64]| {
+            for (i, v) in c.iter_mut().enumerate() {
+                *v = ((off + i) as u64).wrapping_mul(0x9E37_79B9);
+            }
+        };
+        let mut reference = vec![0u64; n];
+        Pool::serial().par_chunks_mut(&mut reference, 8, fill);
+        for nt in [2, 3, 8] {
+            let mut data = vec![0u64; n];
+            Pool::with_threads(nt).par_chunks_mut(&mut data, 8, fill);
+            assert_eq!(data, reference, "thread count {nt}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let serial = Pool::serial().par_map(&items, |i, &x| i * 1000 + x * x);
+        for nt in [2, 5, 8] {
+            let par = Pool::with_threads(nt).par_map(&items, |i, &x| i * 1000 + x * x);
+            assert_eq!(par, serial, "thread count {nt}");
+        }
+    }
+
+    #[test]
+    fn par_map_index_matches_map() {
+        let serial: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for nt in [1, 2, 8] {
+            let par = Pool::with_threads(nt).par_map_index(97, |i| i * i);
+            assert_eq!(par, serial, "thread count {nt}");
+        }
+    }
+
+    #[test]
+    fn par_join_returns_both() {
+        for nt in [1, 4] {
+            let (a, b) = Pool::with_threads(nt).par_join(|| 2 + 2, || "ok");
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = XorShift64::new(seed);
+        let mut m = vec![0.0f64; n * n];
+        for v in m.iter_mut() {
+            *v = rng.range_f64(-1.0, 1.0);
+        }
+        // Mildly diagonally weighted to stay comfortably non-singular.
+        for i in 0..n {
+            m[i * n + i] += 4.0;
+        }
+        m
+    }
+
+    #[test]
+    fn striped_lu_is_bit_identical_to_serial() {
+        let n = 40; // below PAR_MIN_DIM: call the striped path directly
+        let reference = {
+            let mut m = random_matrix(n, 11);
+            let pp = lu_eliminate_serial(&mut m, n).unwrap();
+            (m, pp)
+        };
+        for nt in [2, 3, 8] {
+            let mut m = random_matrix(n, 11);
+            let pp = lu_eliminate_striped(&mut m, n, nt).unwrap();
+            assert_eq!(m, reference.0, "LU payload differs at nt={nt}");
+            assert_eq!(pp, reference.1, "permutation differs at nt={nt}");
+        }
+    }
+
+    #[test]
+    fn striped_lu_detects_singularity() {
+        let n = 8;
+        let mut m = vec![0.0f64; n * n]; // all-zero: singular at step 0
+        match lu_eliminate_striped(&mut m, n, 4) {
+            Err(NumericsError::Singular { step }) => assert_eq!(step, 0),
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    fn random_spd(n: usize, seed: u64) -> Vec<f64> {
+        // A·Aᵀ + n·I is s.p.d. for any A.
+        let a = random_matrix(n, seed);
+        let mut m = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += a[i * n + k] * a[j * n + k];
+                }
+                m[i * n + j] = s;
+            }
+            m[i * n + i] += n as f64;
+        }
+        m
+    }
+
+    #[test]
+    fn striped_cholesky_is_bit_identical_to_serial() {
+        let n = 36;
+        let a = random_spd(n, 5);
+        let mut reference = vec![0.0f64; n * n];
+        cholesky_eliminate_serial(&a, &mut reference, n).unwrap();
+        for nt in [2, 3, 8] {
+            let mut g = vec![0.0f64; n * n];
+            cholesky_eliminate_striped(&a, &mut g, n, nt).unwrap();
+            assert_eq!(g, reference, "Cholesky differs at nt={nt}");
+        }
+    }
+
+    #[test]
+    fn striped_cholesky_rejects_indefinite() {
+        let n = 6;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        a[2 * n + 2] = -1.0; // indefinite
+        let mut g = vec![0.0f64; n * n];
+        match cholesky_eliminate_striped(&a, &mut g, n, 3) {
+            Err(NumericsError::NotPositiveDefinite { row }) => assert_eq!(row, 2),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn public_eliminators_dispatch_serial_below_threshold() {
+        // n < PAR_MIN_DIM must take the serial path even with threads > 1.
+        let n = 12;
+        let mut m = random_matrix(n, 3);
+        let mut m2 = m.clone();
+        let a = lu_eliminate(&mut m, n, 8).unwrap();
+        let b = lu_eliminate_serial(&mut m2, n).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(a, b);
+    }
+}

@@ -25,6 +25,8 @@ pub trait Scalar:
     + AddAssign
     + SubAssign
     + MulAssign
+    + Send
+    + Sync
     + 'static
 {
     /// Additive identity.

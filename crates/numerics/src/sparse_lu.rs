@@ -206,6 +206,18 @@ impl<T: Scalar> SparseLu<T> {
     ///
     /// Returns [`NumericsError::DimensionMismatch`] if `b.len() != dim()`.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumericsError> {
+        let mut y = Vec::with_capacity(self.n);
+        self.solve_into(b, &mut y)?;
+        Ok(y)
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer, reusing its capacity
+    /// (the transient loop's per-step path — no allocation once warm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[T], y: &mut Vec<T>) -> Result<(), NumericsError> {
         if b.len() != self.n {
             return Err(NumericsError::DimensionMismatch {
                 op: "sparse lu solve",
@@ -214,7 +226,8 @@ impl<T: Scalar> SparseLu<T> {
             });
         }
         // y = P·b
-        let mut y = vec![T::zero(); self.n];
+        y.clear();
+        y.resize(self.n, T::zero());
         for (r, &v) in b.iter().enumerate() {
             y[self.pinv[r]] = v;
         }
@@ -239,7 +252,7 @@ impl<T: Scalar> SparseLu<T> {
                 y[k] -= uv * xj;
             }
         }
-        Ok(y)
+        Ok(())
     }
 }
 

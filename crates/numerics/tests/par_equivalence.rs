@@ -1,0 +1,172 @@
+//! Property-style serial/parallel equivalence tests for the pool layer.
+//!
+//! The parallel numerics layer promises *bit-compatible* results at any
+//! worker count: chunk distribution is round-robin but per-element
+//! arithmetic order never changes. These tests drive the public kernels
+//! at 1, 2 and 8 workers over randomized inputs (deterministic
+//! [`XorShift64`] seeds) and require agreement within 1e-12 — in
+//! practice the differences are exactly zero.
+
+use vpec_numerics::rng::XorShift64;
+use vpec_numerics::{pool, Cholesky, DenseMatrix, LuFactor, Pool};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const TOL: f64 = 1e-12;
+
+fn random_matrix(rng: &mut XorShift64, rows: usize, cols: usize) -> DenseMatrix<f64> {
+    let mut m = DenseMatrix::from_fn(rows, cols, |_, _| 0.0);
+    for i in 0..rows {
+        for j in 0..cols {
+            m[(i, j)] = rng.range_f64(-1.0, 1.0);
+        }
+    }
+    m
+}
+
+fn spd_matrix(rng: &mut XorShift64, n: usize) -> DenseMatrix<f64> {
+    let b = random_matrix(rng, n, n);
+    let mut a = b.transpose().matmul(&b).expect("square");
+    for i in 0..n {
+        a[(i, i)] += (n as f64) + 1.0;
+    }
+    a
+}
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= TOL,
+            "{what}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn par_chunks_mut_matches_serial_fill() {
+    let n = 1003;
+    let mut serial = vec![0.0f64; n];
+    Pool::serial().par_chunks_mut(&mut serial, 7, |off, chunk| {
+        for (k, x) in chunk.iter_mut().enumerate() {
+            *x = ((off + k) as f64).sin();
+        }
+    });
+    for nt in THREAD_COUNTS {
+        let mut par = vec![0.0f64; n];
+        Pool::with_threads(nt).par_chunks_mut(&mut par, 7, |off, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = ((off + k) as f64).sin();
+            }
+        });
+        assert_close(&serial, &par, "par_chunks_mut");
+    }
+}
+
+#[test]
+fn par_map_preserves_item_order() {
+    let mut rng = XorShift64::new(0x2001);
+    let items: Vec<f64> = (0..517).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+    let serial: Vec<f64> = items.iter().enumerate().map(|(i, x)| x * i as f64).collect();
+    for nt in THREAD_COUNTS {
+        let par = Pool::with_threads(nt).par_map(&items, |i, x| x * i as f64);
+        assert_close(&serial, &par, "par_map");
+    }
+}
+
+#[test]
+fn par_map_index_preserves_index_order() {
+    let serial: Vec<f64> = (0..711).map(|i| (i as f64).sqrt().cos()).collect();
+    for nt in THREAD_COUNTS {
+        let par = Pool::with_threads(nt).par_map_index(711, |i| (i as f64).sqrt().cos());
+        assert_close(&serial, &par, "par_map_index");
+    }
+}
+
+#[test]
+fn par_join_returns_both_results() {
+    for nt in THREAD_COUNTS {
+        let (a, b) = Pool::with_threads(nt).par_join(|| 6 * 7, || "right".len());
+        assert_eq!(a, 42);
+        assert_eq!(b, 5);
+    }
+}
+
+#[test]
+fn matmul_matches_serial_at_any_thread_count() {
+    let mut rng = XorShift64::new(0x2002);
+    for &(r, k, c) in &[(5, 7, 3), (64, 64, 64), (130, 97, 41)] {
+        let a = random_matrix(&mut rng, r, k);
+        let b = random_matrix(&mut rng, k, c);
+        pool::set_threads(1);
+        let serial = a.matmul(&b).expect("conforming");
+        for nt in THREAD_COUNTS {
+            pool::set_threads(nt);
+            let par = a.matmul(&b).expect("conforming");
+            assert_close(serial.as_slice(), par.as_slice(), "matmul");
+        }
+        pool::set_threads(0);
+    }
+}
+
+#[test]
+fn lu_factor_and_inverse_match_serial() {
+    let mut rng = XorShift64::new(0x2003);
+    for &n in &[6, 48, 120] {
+        let mut a = random_matrix(&mut rng, n, n);
+        for i in 0..n {
+            a[(i, i)] += n as f64; // dominant, hence nonsingular
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+        let serial = LuFactor::with_threads(&a, 1).expect("nonsingular");
+        let x_serial = serial.solve(&rhs).expect("solve");
+        let inv_serial = serial.inverse().expect("inverse");
+        for nt in THREAD_COUNTS {
+            let par = LuFactor::with_threads(&a, nt).expect("nonsingular");
+            assert_close(&x_serial, &par.solve(&rhs).expect("solve"), "lu solve");
+            assert_close(
+                inv_serial.as_slice(),
+                par.inverse().expect("inverse").as_slice(),
+                "lu inverse",
+            );
+        }
+    }
+}
+
+#[test]
+fn cholesky_factor_and_inverse_match_serial() {
+    let mut rng = XorShift64::new(0x2004);
+    for &n in &[6, 48, 120] {
+        let a = spd_matrix(&mut rng, n);
+        let rhs: Vec<f64> = (0..n).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+        let serial = Cholesky::with_threads(&a, 1).expect("SPD");
+        let x_serial = serial.solve(&rhs).expect("solve");
+        let inv_serial = serial.inverse().expect("inverse");
+        for nt in THREAD_COUNTS {
+            let par = Cholesky::with_threads(&a, nt).expect("SPD");
+            assert_close(&x_serial, &par.solve(&rhs).expect("solve"), "chol solve");
+            assert_close(
+                inv_serial.as_slice(),
+                par.inverse().expect("inverse").as_slice(),
+                "chol inverse",
+            );
+        }
+    }
+}
+
+#[test]
+fn env_variable_drives_thread_resolution() {
+    // With no override, `VPEC_THREADS` decides — and whatever it decides,
+    // the kernels must agree with the serial result.
+    let mut rng = XorShift64::new(0x2005);
+    let a = random_matrix(&mut rng, 100, 100);
+    let b = random_matrix(&mut rng, 100, 100);
+    pool::set_threads(1);
+    let serial = a.matmul(&b).expect("conforming");
+    pool::set_threads(0);
+    for nt in THREAD_COUNTS {
+        std::env::set_var("VPEC_THREADS", nt.to_string());
+        let par = a.matmul(&b).expect("conforming");
+        assert_close(serial.as_slice(), par.as_slice(), "matmul via VPEC_THREADS");
+    }
+    std::env::remove_var("VPEC_THREADS");
+}

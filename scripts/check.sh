@@ -17,4 +17,17 @@ cargo test -q --workspace
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> perf bench smoke run (--quick, smallest layout)"
+smoke_json="target/bench_perf_smoke.json"
+cargo run --release -q -p vpec-bench --bin perf -- --quick --out "$smoke_json"
+# The smoke JSON must carry the tracked schema: header keys plus at
+# least one timed phase with its equivalence metric.
+for key in '"bench": "perf"' '"available_parallelism"' '"phases"' \
+           '"serial_seconds"' '"parallel_seconds"' '"speedup"' '"max_abs_diff"'; do
+  if ! grep -q "$key" "$smoke_json"; then
+    echo "BENCH_perf smoke output is malformed: missing $key" >&2
+    exit 1
+  fi
+done
+
 echo "==> all checks passed"
