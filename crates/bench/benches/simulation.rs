@@ -46,7 +46,7 @@ fn bench_ac(c: &mut Criterion) {
         &ExtractionConfig::paper_default(),
         DriveConfig::paper_default(),
     );
-    let spec = vpec_circuit::ac::AcSpec::log_sweep(1e6, 1e10, 4);
+    let spec = vpec_circuit::ac::AcSpec::log_sweep(1e6, 1e10, 4).expect("valid sweep");
     for kind in [ModelKind::Peec, ModelKind::VpecFull] {
         let built = exp.build(kind).expect("build");
         let label = if kind == ModelKind::Peec {

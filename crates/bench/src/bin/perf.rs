@@ -217,7 +217,7 @@ fn bench_size(size: &SizeSpec) -> SizeReport {
         DriveConfig::paper_default().aggressors(vec![first_signal]),
     );
     let tspec = TransientSpec::new(0.2e-9, 1e-12);
-    let acspec = AcSpec::log_sweep(1e8, 1e10, 4);
+    let acspec = AcSpec::log_sweep(1e8, 1e10, 4).expect("valid sweep");
 
     let transient = || {
         let built = exp.build(ModelKind::VpecFull).expect("model builds");

@@ -63,7 +63,7 @@ pub fn run() -> Fig2Outcome {
     let d_local = WaveformDiff::compare(&wp, &wl);
 
     // ---- Frequency domain: 1 Hz – 10 GHz ----
-    let aspec = AcSpec::log_sweep(1.0, 10e9, 8);
+    let aspec = AcSpec::log_sweep(1.0, 10e9, 8).expect("valid sweep");
     let (ap, _) = peec.run_ac(&aspec).expect("PEEC AC");
     let (af, _) = full.run_ac(&aspec).expect("full VPEC AC");
     let (al, _) = local.run_ac(&aspec).expect("localized AC");

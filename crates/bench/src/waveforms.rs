@@ -57,7 +57,7 @@ pub fn dump_figures(dir: &Path, full: bool) -> std::io::Result<Vec<String>> {
         let mut cols: Vec<Vec<f64>> = Vec::new();
         let mut f_header = vec!["freq_hz".to_string()];
         let mut f_cols: Vec<Vec<f64>> = Vec::new();
-        let aspec = AcSpec::log_sweep(1.0, 10e9, 10);
+        let aspec = AcSpec::log_sweep(1.0, 10e9, 10).expect("valid sweep");
         for (name, kind) in kinds {
             let built = exp.build(kind).expect("build");
             let (res, _) = built.run_transient(&tspec).expect("transient");

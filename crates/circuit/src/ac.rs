@@ -26,27 +26,42 @@ pub struct AcSpec {
 
 impl AcSpec {
     /// A logarithmic sweep with `points_per_decade` points from `f_start`
-    /// to `f_stop` (inclusive).
+    /// to `f_stop`. The final point is always exactly `f_stop`, whatever
+    /// the floating-point rounding of the decade count does.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bounds are non-positive or inverted.
-    pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Self {
-        assert!(
-            f_start > 0.0 && f_stop > f_start,
-            "need 0 < f_start < f_stop"
-        );
-        assert!(points_per_decade > 0, "need at least one point per decade");
+    /// [`CircuitError::InvalidSpec`] when the bounds are non-positive,
+    /// non-finite, or inverted, or when `points_per_decade` is zero —
+    /// these are CLI-reachable inputs, not programming errors.
+    pub fn log_sweep(
+        f_start: f64,
+        f_stop: f64,
+        points_per_decade: usize,
+    ) -> Result<Self, CircuitError> {
+        if !(f_start.is_finite() && f_stop.is_finite() && f_start > 0.0 && f_stop > f_start) {
+            return Err(CircuitError::InvalidSpec {
+                reason: "log sweep needs finite bounds with 0 < f_start < f_stop",
+            });
+        }
+        if points_per_decade == 0 {
+            return Err(CircuitError::InvalidSpec {
+                reason: "log sweep needs at least one point per decade",
+            });
+        }
         let decades = (f_stop / f_start).log10();
         let n = (decades * points_per_decade as f64).ceil() as usize + 1;
-        let frequencies = (0..n)
+        // Interior points only; the exact endpoint is appended so float
+        // truncation in `decades * points_per_decade` can never drop it.
+        let mut frequencies: Vec<f64> = (0..n)
             .map(|k| f_start * 10f64.powf(k as f64 / points_per_decade as f64))
-            .map(|f| f.min(f_stop))
+            .filter(|&f| f < f_stop)
             .collect();
-        AcSpec {
+        frequencies.push(f_stop);
+        Ok(AcSpec {
             frequencies,
             solver: SolverKind::Auto,
-        }
+        })
     }
 
     /// A sweep over explicit frequencies.
@@ -201,12 +216,50 @@ mod tests {
 
     #[test]
     fn log_sweep_covers_range() {
-        let s = AcSpec::log_sweep(1.0, 1e10, 10);
+        let s = AcSpec::log_sweep(1.0, 1e10, 10).unwrap();
         assert!((s.frequencies[0] - 1.0).abs() < 1e-12);
         assert!(s.frequencies.iter().all(|&f| f <= 1e10 * (1.0 + 1e-9)));
         assert!(s.frequencies.len() >= 100);
-        // Monotonic.
-        assert!(s.frequencies.windows(2).all(|w| w[1] >= w[0]));
+        // Strictly monotonic — the endpoint is appended, never duplicated.
+        assert!(s.frequencies.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn log_sweep_ends_exactly_at_f_stop() {
+        // Regression: fractional decade counts used to truncate away the
+        // endpoint (the last generated point was clamped or fell short).
+        for &(f_start, f_stop, ppd) in &[
+            (1.0, 1e10, 10),
+            (1.0, 3.16e7, 7),   // fractional decades
+            (2.5, 9.9e3, 3),
+            (1e3, 1e3 * 1.5, 10), // less than one decade
+        ] {
+            let s = AcSpec::log_sweep(f_start, f_stop, ppd).unwrap();
+            assert_eq!(
+                *s.frequencies.last().unwrap(),
+                f_stop,
+                "sweep ({f_start}, {f_stop}, {ppd}) must end exactly at f_stop"
+            );
+            assert_eq!(s.frequencies[0], f_start);
+            assert!(s.frequencies.windows(2).all(|w| w[1] > w[0]));
+        }
+    }
+
+    #[test]
+    fn log_sweep_rejects_bad_bounds_without_panicking() {
+        // Regression: these used to be `assert!` panics reachable from the
+        // CLI; they are typed errors now.
+        assert!(AcSpec::log_sweep(0.0, 1e9, 10).is_err());
+        assert!(AcSpec::log_sweep(-1.0, 1e9, 10).is_err());
+        assert!(AcSpec::log_sweep(1e9, 1e6, 10).is_err());
+        assert!(AcSpec::log_sweep(1e6, 1e6, 10).is_err());
+        assert!(AcSpec::log_sweep(1.0, f64::INFINITY, 10).is_err());
+        assert!(AcSpec::log_sweep(f64::NAN, 1e9, 10).is_err());
+        assert!(AcSpec::log_sweep(1.0, 1e9, 0).is_err());
+        assert!(matches!(
+            AcSpec::log_sweep(1e9, 1e6, 10),
+            Err(CircuitError::InvalidSpec { .. })
+        ));
     }
 
     #[test]

@@ -99,6 +99,44 @@ impl FactorDiagnostics {
     }
 }
 
+/// Solve-time audit telemetry, populated when the runtime numerical audit
+/// layer is enabled (debug builds, `VPEC_AUDIT`, or the CLI `--audit`
+/// flag). `None` fields mean the corresponding check did not run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveAudit {
+    /// Relative residual `‖Ax−b‖∞ / (‖A‖∞‖x‖∞ + ‖b‖∞)` of the last
+    /// accepted solve (skipped when Tikhonov regularization changed the
+    /// system, where the residual against the original `A` is not
+    /// expected to be small).
+    pub residual: Option<f64>,
+    /// Worst relative disagreement between the production factorization
+    /// and an independent dense-LU re-solve of the final step (Full audit
+    /// level, small systems only).
+    pub backend_max_diff: Option<f64>,
+    /// Human-readable violations found by the solve audits (empty =
+    /// clean).
+    pub violations: Vec<String>,
+}
+
+impl SolveAudit {
+    /// `true` when no solve-audit violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Telemetry lines for reports (what was measured, clean or not).
+    pub fn lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(r) = self.residual {
+            out.push(format!("audit: solve residual {r:.3e}"));
+        }
+        if let Some(d) = self.backend_max_diff {
+            out.push(format!("audit: backend cross-check max diff {d:.3e}"));
+        }
+        out
+    }
+}
+
 /// Diagnostics of a guarded transient run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TransientDiagnostics {
@@ -114,12 +152,16 @@ pub struct TransientDiagnostics {
     pub final_dt: f64,
     /// Accepted time steps.
     pub steps: usize,
+    /// Solve-audit telemetry (`None` when the audit layer is off).
+    pub audit: Option<SolveAudit>,
 }
 
 impl TransientDiagnostics {
-    /// `true` if the run needed any recovery action.
+    /// `true` if the run needed any recovery action or failed an audit.
     pub fn degraded(&self) -> bool {
-        self.retries > 0 || self.factor.used_fallback()
+        self.retries > 0
+            || self.factor.used_fallback()
+            || self.audit.as_ref().is_some_and(|a| !a.is_clean())
     }
 }
 

@@ -53,6 +53,14 @@ pub enum CircuitError {
     },
     /// An underlying numerics failure that is not a plain singularity.
     Numerics(NumericsError),
+    /// The runtime numerical audit rejected an analysis input or result
+    /// (enabled in debug builds and via `VPEC_AUDIT` / `--audit`).
+    AuditViolation {
+        /// Pipeline stage at which the audit fired (e.g. `"mna-stamp"`).
+        stage: &'static str,
+        /// What was violated: matrix name, index, magnitude.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -83,6 +91,9 @@ impl fmt::Display for CircuitError {
                  (recovery retries exhausted)"
             ),
             CircuitError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CircuitError::AuditViolation { stage, detail } => {
+                write!(f, "numerical audit rejected the {stage} stage: {detail}")
+            }
         }
     }
 }
@@ -123,5 +134,11 @@ mod tests {
         assert!(n.to_string().contains("numerics"));
         let s: CircuitError = NumericsError::Singular { step: 0 }.into();
         assert!(matches!(s, CircuitError::SingularSystem { .. }));
+        let a = CircuitError::AuditViolation {
+            stage: "mna-stamp",
+            detail: "entry (0, 1) is NaN".into(),
+        };
+        assert!(a.to_string().contains("mna-stamp"));
+        assert!(a.to_string().contains("(0, 1)"));
     }
 }

@@ -78,7 +78,8 @@ mod waveform;
 
 pub use adaptive::{AdaptiveSpec, AdaptiveStats};
 pub use diagnostics::{
-    FactorAttempt, FactorDiagnostics, FactorStrategy, FaultInjection, TransientDiagnostics,
+    FactorAttempt, FactorDiagnostics, FactorStrategy, FaultInjection, SolveAudit,
+    TransientDiagnostics,
 };
 pub use elements::{Element, ElementId};
 pub use error::CircuitError;

@@ -16,13 +16,19 @@ use crate::netlist::Circuit;
 use crate::waveform::Waveform;
 use std::collections::HashMap;
 
-/// Parses a SPICE value with optional magnitude suffix.
+/// Parses a SPICE value with optional magnitude suffix and optional
+/// trailing unit text (`1pF`, `10nH`, `5kOhm`, `10MEGohm`), all
+/// case-insensitively. As in SPICE, only the first letter(s) after the
+/// number carry meaning — the magnitude suffix — and any remaining
+/// alphabetic unit text is ignored.
 ///
 /// ```
 /// use vpec_circuit::spice_in::parse_value;
 /// assert_eq!(parse_value("1.5k").unwrap(), 1500.0);
 /// assert_eq!(parse_value("10meg").unwrap(), 1.0e7);
 /// assert_eq!(parse_value("2.5e-12").unwrap(), 2.5e-12);
+/// assert_eq!(parse_value("1pF").unwrap(), 1.0e-12);
+/// assert_eq!(parse_value("10nH").unwrap(), 1.0e-8);
 /// ```
 ///
 /// # Errors
@@ -30,31 +36,62 @@ use std::collections::HashMap;
 /// Returns a message naming the malformed token.
 pub fn parse_value(tok: &str) -> Result<f64, String> {
     let t = tok.trim().to_ascii_lowercase();
-    let (num, mult) = if let Some(stripped) = t.strip_suffix("meg") {
-        (stripped, 1.0e6)
-    } else if let Some(stripped) = t.strip_suffix('f') {
-        (stripped, 1.0e-15)
-    } else if let Some(stripped) = t.strip_suffix('p') {
-        (stripped, 1.0e-12)
-    } else if let Some(stripped) = t.strip_suffix('n') {
-        (stripped, 1.0e-9)
-    } else if let Some(stripped) = t.strip_suffix('u') {
-        (stripped, 1.0e-6)
-    } else if let Some(stripped) = t.strip_suffix('m') {
-        (stripped, 1.0e-3)
-    } else if let Some(stripped) = t.strip_suffix('k') {
-        (stripped, 1.0e3)
-    } else if let Some(stripped) = t.strip_suffix('g') {
-        // Careful: `e-9` also ends in '9', but 'g' only strips a letter.
-        (stripped, 1.0e9)
-    } else if let Some(stripped) = t.strip_suffix('t') {
-        (stripped, 1.0e12)
+    let fail = || format!("malformed value: {tok}");
+    let bytes = t.as_bytes();
+    // Scan the numeric prefix by hand rather than delegating to
+    // `str::parse`, so the split between magnitude and unit text is
+    // unambiguous (and so "inf"/"nan" don't sneak in as valid floats).
+    let mut end = 0;
+    if end < bytes.len() && (bytes[end] == b'+' || bytes[end] == b'-') {
+        end += 1;
+    }
+    let mut saw_digit = false;
+    while end < bytes.len() && (bytes[end].is_ascii_digit() || bytes[end] == b'.') {
+        saw_digit |= bytes[end].is_ascii_digit();
+        end += 1;
+    }
+    if !saw_digit {
+        return Err(fail());
+    }
+    // An exponent belongs to the number only when 'e' is followed by a
+    // (signed) digit; otherwise the letter starts the unit text.
+    if end < bytes.len() && bytes[end] == b'e' {
+        let mut e = end + 1;
+        if e < bytes.len() && (bytes[e] == b'+' || bytes[e] == b'-') {
+            e += 1;
+        }
+        if e < bytes.len() && bytes[e].is_ascii_digit() {
+            while e < bytes.len() && bytes[e].is_ascii_digit() {
+                e += 1;
+            }
+            end = e;
+        }
+    }
+    let mantissa: f64 = t[..end].parse().map_err(|_| fail())?;
+    let rest = &t[end..];
+    if rest.is_empty() {
+        return Ok(mantissa);
+    }
+    if !rest.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err(fail());
+    }
+    let mult = if rest.starts_with("meg") {
+        1.0e6
     } else {
-        (t.as_str(), 1.0)
+        match rest.as_bytes()[0] {
+            b'f' => 1.0e-15,
+            b'p' => 1.0e-12,
+            b'n' => 1.0e-9,
+            b'u' => 1.0e-6,
+            b'm' => 1.0e-3,
+            b'k' => 1.0e3,
+            b'g' => 1.0e9,
+            b't' => 1.0e12,
+            // Bare unit text with no magnitude suffix ("5ohm", "2v").
+            _ => 1.0,
+        }
     };
-    num.parse::<f64>()
-        .map(|v| v * mult)
-        .map_err(|_| format!("malformed value: {tok}"))
+    Ok(mantissa * mult)
 }
 
 /// A parse failure with its position in the deck (1-based line, and the
@@ -382,6 +419,38 @@ mod tests {
         close("7g", 7e9);
         close("1.5e-12", 1.5e-12);
         assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn value_suffixes_with_unit_text() {
+        // Regression: trailing unit letters used to be consumed as a
+        // magnitude suffix ("1pf" stripped the 'f' and failed on "1p").
+        let close = |tok: &str, expect: f64| {
+            let v = parse_value(tok).unwrap();
+            assert!(
+                (v - expect).abs() <= 1e-12 * expect.abs(),
+                "{tok}: {v} vs {expect}"
+            );
+        };
+        close("1pF", 1e-12);
+        close("1PF", 1e-12);
+        close("10MEG", 1e7);
+        close("10MEGohm", 1e7);
+        close("10nH", 1e-8);
+        close("5kOhm", 5e3);
+        close("100mV", 0.1);
+        close("3uS", 3e-6);
+        close("5ohm", 5.0); // unit text without magnitude suffix
+        close("-2.5pF", -2.5e-12);
+        close("1e3k", 1e6); // exponent then magnitude suffix
+        // Malformed tokens stay errors.
+        assert!(parse_value("p").is_err());
+        assert!(parse_value("1p F").is_err());
+        assert!(parse_value("1.2.3").is_err());
+        assert!(parse_value("inf").is_err());
+        assert!(parse_value("nan").is_err());
+        assert!(parse_value("1k2").is_err());
+        assert!(parse_value("").is_err());
     }
 
     #[test]

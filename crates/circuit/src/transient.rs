@@ -19,7 +19,7 @@
 //! fallback chain in [`crate::diagnostics`].
 
 use crate::dc::solve_dc_opts;
-use crate::diagnostics::{FaultInjection, TransientDiagnostics};
+use crate::diagnostics::{FaultInjection, SolveAudit, TransientDiagnostics};
 use crate::elements::Element;
 use crate::error::CircuitError;
 use crate::mna::{add_source_rhs, assemble, MnaLayout};
@@ -28,6 +28,7 @@ use crate::result::{ResultMapping, TransientResult};
 use crate::solver::{FactorOptions, Factored};
 use crate::SolverKind;
 use std::collections::HashMap;
+use vpec_numerics::audit;
 
 /// Time-integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +43,34 @@ pub enum Integrator {
 /// Most halvings of `dt` the non-finite recovery will attempt before
 /// giving up with [`CircuitError::NonFiniteSolution`].
 const MAX_HALVINGS: usize = 6;
+
+/// Relative-residual bound enforced by the solve audit. A backward-stable
+/// factorization of the well-scaled MNA systems built here lands around
+/// `n·ε`; exceeding this by orders of magnitude means the factor does not
+/// match the assembled system.
+const AUDIT_RESIDUAL_TOL: f64 = 1e-8;
+
+/// Bound on the relative disagreement between the production factorization
+/// and the independent dense-LU cross-check (forward errors of two
+/// backward-stable solvers differ by at most ~cond·ε each).
+const AUDIT_BACKEND_TOL: f64 = 1e-6;
+
+/// Largest MNA dimension for which the Full-level audit pays for an
+/// independent dense-LU re-solve of the final step.
+const AUDIT_BACKEND_DIM_CAP: usize = 512;
+
+/// Scans assembled MNA triplets for non-finite stamps (audit layer).
+fn audit_stamps(a: &vpec_numerics::CooMatrix<f64>) -> Result<(), CircuitError> {
+    for &(i, j, v) in a.entries() {
+        if !v.is_finite() {
+            return Err(CircuitError::AuditViolation {
+                stage: "mna-stamp",
+                detail: format!("transient MNA stamp at ({i}, {j}) is {v}"),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Transient analysis specification.
 #[derive(Debug, Clone)]
@@ -193,7 +222,11 @@ pub fn run_transient_with_report(
         other => other,
     };
 
-    let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+    let mut a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+    let auditing = audit::enabled(audit::AuditLevel::Basic);
+    if auditing {
+        audit_stamps(&a)?;
+    }
     let opts = FactorOptions {
         kind: spec.solver,
         regularize: spec.regularize,
@@ -374,7 +407,9 @@ pub fn run_transient_with_report(
             halvings += 1;
             dt /= 2.0;
             coef = coef_for(spec.method, dt);
-            let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+            // Re-assign (not shadow) so the post-loop solve audit checks
+            // the residual against the system the factor actually solves.
+            a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
             let retry_opts = FactorOptions {
                 kind: spec.solver,
                 regularize: spec.regularize,
@@ -409,6 +444,51 @@ pub fn run_transient_with_report(
         accepted += 1;
         times.push(t);
         data.push(record(&x));
+    }
+
+    // Solve audit: check the factor against the system it claims to solve
+    // (factor → solve boundary). `x` holds the last accepted solution and
+    // `rhs` the RHS it was solved from; `a` matches the current factor
+    // even after retries (re-assigned, not shadowed, above).
+    if auditing && accepted > 0 {
+        let mut sa = SolveAudit::default();
+        if diag.factor.regularization.is_none() {
+            let (rel, violation) =
+                audit::check_residual("transient MNA", &a, &x, &rhs, AUDIT_RESIDUAL_TOL);
+            sa.residual = Some(rel);
+            if let Some(v) = violation {
+                sa.violations.push(v.to_string());
+            }
+        }
+        if audit::enabled(audit::AuditLevel::Full)
+            && layout.dim <= AUDIT_BACKEND_DIM_CAP
+            && diag.factor.regularization.is_none()
+        {
+            // Independent dense-LU re-solve of the final step; two
+            // backward-stable backends must agree on a well-posed system.
+            let dense = a.to_csr().to_dense();
+            if let Ok(x_ref) = vpec_numerics::LuFactor::new(&dense).and_then(|lu| lu.solve(&rhs)) {
+                let scale = x_ref
+                    .iter()
+                    .fold(0.0f64, |m, v| m.max(v.abs()))
+                    .max(f64::MIN_POSITIVE);
+                let mut worst = 0.0f64;
+                for (xo, xr) in x.iter().zip(&x_ref) {
+                    let d = (xo - xr).abs() / scale;
+                    if d > worst || !d.is_finite() {
+                        worst = d;
+                    }
+                }
+                sa.backend_max_diff = Some(worst);
+                if worst > AUDIT_BACKEND_TOL || !worst.is_finite() {
+                    sa.violations.push(format!(
+                        "transient MNA failed backend consistency: production factor and \
+                         dense LU disagree by {worst:.3e} (tol {AUDIT_BACKEND_TOL:.1e})"
+                    ));
+                }
+            }
+        }
+        diag.audit = Some(sa);
     }
 
     diag.final_dt = dt;
@@ -639,6 +719,46 @@ mod tests {
         let v = res.voltage(out).unwrap();
         assert!(v.iter().all(|x| x.is_finite()));
         assert!((v.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn audit_telemetry_is_clean_on_healthy_run() {
+        let (c, _) = rc_circuit();
+        let (_, diag) =
+            run_transient_with_report(&c, &TransientSpec::new(1e-7, 1e-9)).unwrap();
+        // Debug test builds default to AuditLevel::Full; respect an
+        // explicit VPEC_AUDIT=off override (release-profile CI runs).
+        if audit::enabled(audit::AuditLevel::Basic) {
+            let sa = diag.audit.as_ref().expect("audit telemetry expected");
+            assert!(sa.is_clean(), "unexpected violations: {:?}", sa.violations);
+            let r = sa.residual.expect("residual recorded");
+            assert!(r < AUDIT_RESIDUAL_TOL, "residual {r} too large");
+            if audit::enabled(audit::AuditLevel::Full) {
+                let d = sa.backend_max_diff.expect("backend cross-check recorded");
+                assert!(d < AUDIT_BACKEND_TOL, "backend diff {d} too large");
+            }
+            assert!(!diag.degraded(), "clean audit must not degrade the run");
+        } else {
+            assert!(diag.audit.is_none());
+        }
+    }
+
+    #[test]
+    fn audit_still_clean_after_checkpointed_retry() {
+        // The retry path re-assembles the system at the halved dt; the
+        // post-loop residual must be checked against *that* matrix.
+        let (c, _) = rc_circuit();
+        let spec = TransientSpec::new(1e-7, 1e-9).fault_injection(FaultInjection {
+            poison_step: Some(3),
+            ..FaultInjection::none()
+        });
+        let (_, diag) = run_transient_with_report(&c, &spec).unwrap();
+        assert_eq!(diag.retries, 1);
+        if audit::enabled(audit::AuditLevel::Basic) {
+            let sa = diag.audit.as_ref().expect("audit telemetry expected");
+            assert!(sa.is_clean(), "unexpected violations: {:?}", sa.violations);
+            assert!(sa.residual.expect("residual recorded") < AUDIT_RESIDUAL_TOL);
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn ladder(stages: usize) -> (Circuit, Vec<vpec_circuit::NodeId>) {
 #[test]
 fn ac_sweep_matches_serial_at_any_thread_count() {
     let (c, taps) = ladder(8);
-    let spec = AcSpec::log_sweep(1e7, 1e11, 5);
+    let spec = AcSpec::log_sweep(1e7, 1e11, 5).expect("valid sweep");
     pool::set_threads(1);
     let serial = run_ac(&c, &spec).expect("serial sweep");
     for nt in THREAD_COUNTS {

@@ -3,6 +3,7 @@
 use crate::CliError;
 use vpec_circuit::spice_in::parse_value;
 use vpec_core::harness::ModelKind;
+use vpec_numerics::audit::AuditLevel;
 
 /// Which subcommand was requested.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,9 @@ pub struct ParsedArgs {
     /// Worker-thread override for the parallel numerics layer
     /// (`--threads N`; `None` = resolve from `VPEC_THREADS` / hardware).
     pub threads: Option<usize>,
+    /// Numerical-audit level override (`--audit[=LEVEL]`; `None` =
+    /// resolve from `VPEC_AUDIT` / the build profile).
+    pub audit: Option<AuditLevel>,
 }
 
 impl Default for ParsedArgs {
@@ -83,6 +87,7 @@ impl Default for ParsedArgs {
             threshold: 10e-3,
             output: None,
             threads: None,
+            audit: None,
         }
     }
 }
@@ -230,7 +235,18 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 out.threads = Some(n);
             }
             "-o" | "--output" => out.output = Some(value("path")?.clone()),
-            other => return Err(CliError::usage(format!("unknown option: {other}"))),
+            "--audit" => out.audit = Some(AuditLevel::Full),
+            other => {
+                if let Some(level) = other.strip_prefix("--audit=") {
+                    out.audit = Some(AuditLevel::parse(level).ok_or_else(|| {
+                        CliError::usage(format!(
+                            "unknown audit level: {level} (use off, basic or full)"
+                        ))
+                    })?);
+                } else {
+                    return Err(CliError::usage(format!("unknown option: {other}")));
+                }
+            }
         }
     }
 
@@ -323,6 +339,28 @@ mod tests {
         assert_eq!(parse_args(&argv("simulate")).unwrap().threads, None);
         assert!(parse_args(&argv("simulate --threads 0")).is_err());
         assert!(parse_args(&argv("simulate --threads x")).is_err());
+    }
+
+    #[test]
+    fn parses_audit_flag() {
+        assert_eq!(parse_args(&argv("simulate")).unwrap().audit, None);
+        assert_eq!(
+            parse_args(&argv("simulate --audit")).unwrap().audit,
+            Some(AuditLevel::Full)
+        );
+        assert_eq!(
+            parse_args(&argv("simulate --audit=basic")).unwrap().audit,
+            Some(AuditLevel::Basic)
+        );
+        assert_eq!(
+            parse_args(&argv("simulate --audit=off")).unwrap().audit,
+            Some(AuditLevel::Off)
+        );
+        assert_eq!(
+            parse_args(&argv("simulate --audit=full")).unwrap().audit,
+            Some(AuditLevel::Full)
+        );
+        assert!(parse_args(&argv("simulate --audit=wat")).is_err());
     }
 
     #[test]

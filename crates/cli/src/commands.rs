@@ -10,6 +10,7 @@ use vpec_core::harness::{Experiment, ModelKind};
 use vpec_core::noise::noise_scan;
 use vpec_core::repair::DEFAULT_MARGIN;
 use vpec_core::{repair_passivity, DriveConfig};
+use vpec_numerics::audit;
 use vpec_extract::ExtractionConfig;
 use vpec_geometry::{BusSpec, SpiralSpec};
 
@@ -150,6 +151,21 @@ pub fn model(args: &ParsedArgs) -> Result<String, CliError> {
         let (_, rep) = repair_passivity(&model, DEFAULT_MARGIN);
         let _ = writeln!(out, "passivity repair: {}", rep.summary());
     }
+    // The model command is a *report*, so the audit here never aborts —
+    // it prints what the enforcing pipeline (simulate/export) would say.
+    if audit::enabled(audit::AuditLevel::Basic) {
+        let audit_rep =
+            vpec_core::invariants::audit_model(&format!("{} Ĝ", args.kind.label()), &model);
+        let _ = writeln!(
+            out,
+            "audit ({}): {}",
+            audit::level().label(),
+            audit_rep.summary()
+        );
+        for v in &audit_rep.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+    }
     Ok(out)
 }
 
@@ -184,6 +200,9 @@ pub fn simulate(args: &ParsedArgs) -> Result<String, CliError> {
         secs * 1e3
     );
     for line in report.perf_summary() {
+        let _ = writeln!(out, "{line}");
+    }
+    for line in report.audit_lines() {
         let _ = writeln!(out, "{line}");
     }
     for line in report.lines() {
@@ -304,6 +323,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     if let Some(n) = args.threads {
         vpec_numerics::pool::set_threads(n);
     }
+    if let Some(level) = args.audit {
+        audit::set_level(level);
+    }
     match args.command {
         crate::Command::Extract => extract(args),
         crate::Command::Model => model(args),
@@ -398,6 +420,19 @@ mod tests {
         assert!(out.contains("solve phase"));
         let model = run_line("model --bits 4 --kind vpec-full --threads 1").unwrap();
         assert!(model.contains("threads: 1"));
+    }
+
+    #[test]
+    fn audit_flag_enables_reporting() {
+        let out = run_line("model --bits 4 --kind wvpec-g:2 --audit").unwrap();
+        assert!(out.contains("audit (full):"), "model audit line: {out}");
+        let sim =
+            run_line("simulate --bits 3 --kind vpec-full --tstop 0.05n --probe 0 --audit")
+                .unwrap();
+        assert!(
+            sim.contains("audit: solve residual"),
+            "simulate audit telemetry: {sim}"
+        );
     }
 
     #[test]

@@ -91,6 +91,9 @@ COMMON OPTIONS:
   --threads N       worker threads for the parallel numerics layer
                     (default: VPEC_THREADS env, then hardware count;
                     results are bit-identical at any thread count)
+  --audit[=LEVEL]   numerical-correctness audits: off | basic | full
+                    (bare --audit = full; default: VPEC_AUDIT env, then
+                    full in debug builds, off in release builds)
   -o FILE           output file (simulate: CSV; export: SPICE deck)
 
 DIAGNOSTICS:
@@ -98,6 +101,15 @@ DIAGNOSTICS:
   wvpec-*). simulate prints solve diagnostics whenever a run was degraded:
   passivity repairs applied at build time, factorization fallbacks, and
   checkpointed transient retries at a reduced time step.
+
+  With auditing enabled (--audit or VPEC_AUDIT=basic|full), every layer
+  boundary is validated: extracted parasitics (finite, symmetric, SPD L),
+  the built model's Ĝ (Theorem 1 passivity; diagonal dominance reported
+  as a warning), MNA stamps (finiteness) and the transient solve
+  (relative residual; at full level also a cross-backend consistency
+  check). Violations carry the matrix name, index and magnitude, and
+  abort the pipeline with a typed error instead of producing silently
+  wrong waveforms.
 
 Values accept SPICE suffixes: 1p, 0.5n, 10m, 2k, 10meg, ...
 ";

@@ -26,6 +26,9 @@ pub enum CoreError {
     },
     /// Netlist construction failed.
     Circuit(CircuitError),
+    /// A runtime numerical audit found an invariant violation (see
+    /// [`crate::invariants`]).
+    AuditFailed(vpec_numerics::audit::AuditFailure),
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +43,7 @@ impl fmt::Display for CoreError {
                 "parasitics cover {parasitics} filaments but layout has {layout}"
             ),
             CoreError::Circuit(e) => write!(f, "netlist construction failed: {e}"),
+            CoreError::AuditFailed(e) => write!(f, "numerical audit failed: {e}"),
         }
     }
 }
@@ -49,6 +53,7 @@ impl Error for CoreError {
         match self {
             CoreError::BadInductanceMatrix(e) => Some(e),
             CoreError::Circuit(e) => Some(e),
+            CoreError::AuditFailed(e) => Some(e),
             _ => None,
         }
     }
@@ -63,6 +68,12 @@ impl From<NumericsError> for CoreError {
 impl From<CircuitError> for CoreError {
     fn from(e: CircuitError) -> Self {
         CoreError::Circuit(e)
+    }
+}
+
+impl From<vpec_numerics::audit::AuditFailure> for CoreError {
+    fn from(e: vpec_numerics::audit::AuditFailure) -> Self {
+        CoreError::AuditFailed(e)
     }
 }
 

@@ -12,7 +12,7 @@ use std::time::Instant;
 use vpec_circuit::ac::{run_ac, AcSpec};
 use vpec_circuit::spice_out::netlist_size;
 use vpec_circuit::transient::{run_transient, run_transient_with_report};
-use vpec_circuit::{AcResult, TransientDiagnostics, TransientResult, TransientSpec};
+use vpec_circuit::{AcResult, SolveAudit, TransientDiagnostics, TransientResult, TransientSpec};
 use vpec_extract::{extract, ExtractionConfig, Parasitics};
 use vpec_geometry::Layout;
 
@@ -143,6 +143,8 @@ impl Experiment {
     /// Any model- or netlist-construction failure.
     pub fn build(&self, kind: ModelKind) -> Result<BuiltModel, CoreError> {
         let t0 = Instant::now();
+        // Extraction-boundary audit: gated, no-op when auditing is off.
+        crate::invariants::enforce_parasitics(&self.parasitics)?;
         let mut repair: Option<RepairReport> = None;
         let (circuit, sparse_factor) = match kind {
             ModelKind::Peec => (
@@ -172,6 +174,10 @@ impl Experiment {
                     model = repaired;
                     repair = Some(report);
                 }
+                // Model-boundary audit AFTER repair: a freshly sparsified
+                // model may legitimately be non-SPD until repair restores
+                // dominance; what reaches the netlist must be passive.
+                crate::invariants::enforce_model(&format!("{} Ĝ", kind.label()), &model)?;
                 let sf = model.sparse_factor();
                 (
                     build_vpec(&self.layout, &self.parasitics, &model, &self.drive)?,
@@ -209,6 +215,9 @@ pub struct SolveReport {
     /// Wall-clock seconds of the analysis phase (transient or AC solve),
     /// when recorded.
     pub solve_seconds: Option<f64>,
+    /// Solve-time audit telemetry (`None` when auditing was off or no
+    /// audited solve ran).
+    pub audit: Option<SolveAudit>,
 }
 
 impl SolveReport {
@@ -216,6 +225,7 @@ impl SolveReport {
     pub fn degraded(&self) -> bool {
         self.repair.as_ref().is_some_and(|r| r.repaired())
             || self.transient.as_ref().is_some_and(|t| t.degraded())
+            || self.audit.as_ref().is_some_and(|a| !a.is_clean())
     }
 
     /// Human-readable report lines (empty for a clean, no-repair run).
@@ -239,7 +249,19 @@ impl SolveReport {
                 ));
             }
         }
+        if let Some(a) = &self.audit {
+            for v in &a.violations {
+                out.push(format!("audit violation: {v}"));
+            }
+        }
         out
+    }
+
+    /// Routine audit telemetry lines (residual magnitude, backend
+    /// cross-check) — informational, not a degradation signal, so kept
+    /// apart from [`SolveReport::lines`].
+    pub fn audit_lines(&self) -> Vec<String> {
+        self.audit.as_ref().map(SolveAudit::lines).unwrap_or_default()
     }
 
     /// Performance lines: effective thread count and per-phase wall time.
@@ -306,12 +328,14 @@ impl BuiltModel {
         let t0 = Instant::now();
         let (res, diag) = run_transient_with_report(&self.model.circuit, spec)?;
         let solve_seconds = t0.elapsed().as_secs_f64();
+        let audit = diag.audit.clone();
         let report = SolveReport {
             repair: self.repair.clone(),
             transient: Some(diag),
             threads: vpec_numerics::pool::max_threads(),
             build_seconds: Some(self.build_seconds),
             solve_seconds: Some(solve_seconds),
+            audit,
         };
         Ok((res, report, solve_seconds))
     }

@@ -45,6 +45,7 @@
 
 pub mod baselines;
 pub mod harness;
+pub mod invariants;
 pub mod kelement;
 pub mod lower;
 pub mod noise;

@@ -17,7 +17,33 @@
 use crate::{CoreError, VpecModel};
 use std::collections::HashMap;
 use vpec_extract::Parasitics;
-use vpec_numerics::{Cholesky, LuFactor};
+use vpec_numerics::{Cholesky, DenseMatrix, LuFactor, NumericsError};
+
+/// Rejects inductance matrices the window machinery cannot safely
+/// consume: any non-finite entry would make the coupling-strength sort
+/// input-order-dependent (NaN compares as `Equal`), and a zero/negative
+/// diagonal would turn the `|Lₘⱼ|/Lₘₘ` ratios into NaN/∞ and silently
+/// mis-select windows.
+fn validate_inductance(l: &DenseMatrix<f64>) -> Result<(), CoreError> {
+    for i in 0..l.rows() {
+        for j in 0..l.cols() {
+            if !l[(i, j)].is_finite() {
+                return Err(CoreError::BadInductanceMatrix(NumericsError::NonFinite {
+                    op: "wVPEC windowing",
+                    index: (i, j),
+                }));
+            }
+        }
+    }
+    for m in 0..l.rows() {
+        if l[(m, m)] <= 0.0 {
+            return Err(CoreError::BadInductanceMatrix(
+                NumericsError::NotPositiveDefinite { row: m },
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// Geometric windowing (gwVPEC): a uniform window of the `b` most strongly
 /// coupled conductors (by `|Lₘⱼ|`) around each aggressor. For an aligned
@@ -27,13 +53,15 @@ use vpec_numerics::{Cholesky, LuFactor};
 /// # Errors
 ///
 /// * [`CoreError::InvalidParameter`] if `b == 0`.
-/// * [`CoreError::BadInductanceMatrix`] if a window submatrix is singular.
+/// * [`CoreError::BadInductanceMatrix`] if `L` has non-finite entries, a
+///   non-positive diagonal, or a singular window submatrix.
 pub fn windowed_geometric(parasitics: &Parasitics, b: usize) -> Result<VpecModel, CoreError> {
     if b == 0 {
         return Err(CoreError::InvalidParameter {
             reason: "window size b must be at least 1",
         });
     }
+    validate_inductance(&parasitics.inductance)?;
     let n = parasitics.inductance.rows();
     let l = &parasitics.inductance;
     let mut windows = Vec::with_capacity(n);
@@ -61,13 +89,16 @@ pub fn windowed_geometric(parasitics: &Parasitics, b: usize) -> Result<VpecModel
 /// # Errors
 ///
 /// * [`CoreError::InvalidParameter`] if `threshold` is negative/NaN.
-/// * [`CoreError::BadInductanceMatrix`] if a window submatrix is singular.
+/// * [`CoreError::BadInductanceMatrix`] if `L` has non-finite entries, a
+///   non-positive diagonal (which would divide the coupling ratio by
+///   zero), or a singular window submatrix.
 pub fn windowed_numerical(parasitics: &Parasitics, threshold: f64) -> Result<VpecModel, CoreError> {
     if !threshold.is_finite() || threshold < 0.0 {
         return Err(CoreError::InvalidParameter {
             reason: "window threshold must be a nonnegative finite number",
         });
     }
+    validate_inductance(&parasitics.inductance)?;
     let n = parasitics.inductance.rows();
     let l = &parasitics.inductance;
     let mut windows = Vec::with_capacity(n);
@@ -260,6 +291,49 @@ mod tests {
         assert!(windowed_geometric(&para, 0).is_err());
         assert!(windowed_numerical(&para, -0.5).is_err());
         assert!(windowed_numerical(&para, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn non_finite_coupling_is_rejected_not_missorted() {
+        // Regression: a NaN off-diagonal used to compare as `Equal` in the
+        // coupling-strength sort, silently producing input-order-dependent
+        // windows instead of an error.
+        let mut para = bus_parasitics(6);
+        para.inductance[(2, 4)] = f64::NAN;
+        para.inductance[(4, 2)] = f64::NAN;
+        match windowed_geometric(&para, 3) {
+            Err(CoreError::BadInductanceMatrix(NumericsError::NonFinite { index, .. })) => {
+                assert_eq!(index, (2, 4));
+            }
+            other => panic!("expected NonFinite error, got {other:?}"),
+        }
+        assert!(matches!(
+            windowed_numerical(&para, 1e-4),
+            Err(CoreError::BadInductanceMatrix(NumericsError::NonFinite { .. }))
+        ));
+    }
+
+    #[test]
+    fn bad_diagonal_is_rejected_not_divided_by() {
+        // Regression: `windowed_numerical` used to divide |Lmj| by Lmm
+        // unchecked; a zero or negative self-inductance produced NaN/∞
+        // coupling ratios and silently wrong windows.
+        for bad in [0.0, -1e-9] {
+            let mut para = bus_parasitics(5);
+            para.inductance[(3, 3)] = bad;
+            match windowed_numerical(&para, 1e-4) {
+                Err(CoreError::BadInductanceMatrix(
+                    NumericsError::NotPositiveDefinite { row },
+                )) => assert_eq!(row, 3),
+                other => panic!("expected NotPositiveDefinite for Lmm={bad}, got {other:?}"),
+            }
+            assert!(matches!(
+                windowed_geometric(&para, 2),
+                Err(CoreError::BadInductanceMatrix(
+                    NumericsError::NotPositiveDefinite { .. }
+                ))
+            ));
+        }
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub enum NumericsError {
     },
     /// Input slice rows had inconsistent lengths.
     RaggedRows,
+    /// A matrix entry (or vector element) was NaN or infinite.
+    NonFinite {
+        /// What the caller tried to do.
+        op: &'static str,
+        /// The offending `(row, col)` index (vectors use column 0).
+        index: (usize, usize),
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -67,6 +74,11 @@ impl fmt::Display for NumericsError {
                 index.0, index.1, shape.0, shape.1
             ),
             NumericsError::RaggedRows => write!(f, "input rows have inconsistent lengths"),
+            NumericsError::NonFinite { op, index } => write!(
+                f,
+                "non-finite value in {op} at ({}, {})",
+                index.0, index.1
+            ),
         }
     }
 }
@@ -98,6 +110,12 @@ mod tests {
         };
         assert!(e.to_string().contains("out of bounds"));
         assert!(NumericsError::RaggedRows.to_string().contains("inconsistent"));
+        let e = NumericsError::NonFinite {
+            op: "audit",
+            index: (1, 2),
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("(1, 2)"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod cholesky;
 mod complex;
 mod dense;

@@ -44,6 +44,13 @@ impl<T: Scalar> CooMatrix<T> {
         self.entries.len()
     }
 
+    /// Raw `(row, col, value)` triplets in insertion order (duplicates not
+    /// yet summed). Used by the audit layer to scan stamps and to compute
+    /// residuals without compressing first.
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
     /// Adds `value` at `(row, col)`; duplicates accumulate.
     ///
     /// # Errors

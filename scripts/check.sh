@@ -11,8 +11,15 @@ export CARGO_NET_OFFLINE=true
 echo "==> cargo build --release (workspace, all targets)"
 cargo build --release --workspace --all-targets
 
-echo "==> cargo test -q (workspace)"
-cargo test -q --workspace
+echo "==> cargo test -q (workspace, VPEC_AUDIT=full)"
+# Debug tests default to full auditing anyway; pinning it here keeps the
+# gate meaningful even when the caller exported VPEC_AUDIT=off.
+VPEC_AUDIT=full cargo test -q --workspace
+
+echo "==> release-profile audit pass (tier-1 integration tests, VPEC_AUDIT=full)"
+# Release builds default to audits OFF; this run covers the enforcement
+# paths in the exact profile users deploy.
+VPEC_AUDIT=full cargo test -q --release --test audit_invariants --test paper_claims
 
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -34,7 +34,7 @@ fn full_vpec_matches_peec_time_and_frequency_domain() {
     }
 
     // Frequency domain, 1 Hz – 10 GHz.
-    let aspec = AcSpec::log_sweep(1.0, 1e10, 5);
+    let aspec = AcSpec::log_sweep(1.0, 1e10, 5).expect("valid sweep");
     let (ap, _) = peec.run_ac(&aspec).unwrap();
     let (av, _) = vpec.run_ac(&aspec).unwrap();
     let mp = ap.magnitude(peec.model.far_nodes[1]).unwrap();
