@@ -29,7 +29,11 @@ use vpec_extract::{extract, ExtractionConfig, Parasitics};
 use vpec_geometry::BusSpec;
 use vpec_numerics::{pool, Cholesky, LuFactor};
 
-/// Worker count for the "parallel" column (the ISSUE's reference point).
+/// Requested worker count for the "parallel" column. The count actually
+/// used (and recorded in the JSON) is clamped to `available_parallelism`:
+/// oversubscribing a smaller machine measures scheduler thrash, not the
+/// parallel numerics layer, and reporting `parallel_threads: 4` from a
+/// 1-core box misrepresents the speedup columns.
 const PARALLEL_THREADS: usize = 4;
 
 /// Best-of-N repetitions for the cheap linear-algebra phases.
@@ -90,13 +94,15 @@ fn main() {
     let hw = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let par_workers = PARALLEL_THREADS.min(hw).max(1);
     println!(
-        "perf bench | available_parallelism = {hw} | parallel column = {PARALLEL_THREADS} workers"
+        "perf bench | available_parallelism = {hw} | parallel column = {par_workers} workers \
+         (requested {PARALLEL_THREADS})"
     );
 
     let sizes: &[SizeSpec] = if quick { &SIZES[..1] } else { &SIZES[..] };
     let t0 = Instant::now();
-    let reports: Vec<SizeReport> = sizes.iter().map(bench_size).collect();
+    let reports: Vec<SizeReport> = sizes.iter().map(|s| bench_size(s, par_workers)).collect();
     // Leave the pool in its default (auto) state.
     pool::set_threads(0);
 
@@ -118,7 +124,7 @@ fn main() {
         print!("{}", table.render());
     }
 
-    let json = render_json(&reports, hw, quick);
+    let json = render_json(&reports, hw, par_workers, quick);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {
@@ -164,13 +170,13 @@ fn parasitics_diff(a: &Parasitics, b: &Parasitics) -> f64 {
         .max(max_abs_diff(&a.cap_ground, &b.cap_ground))
 }
 
-fn bench_size(size: &SizeSpec) -> SizeReport {
+fn bench_size(size: &SizeSpec, par_workers: usize) -> SizeReport {
     let layout = BusSpec::new(size.bits).segments(size.segments).build();
     let cfg = ExtractionConfig::paper_default();
     let mut phases = Vec::new();
 
     // Phase 1: parasitic extraction (inductance + capacitance tables).
-    let ((para_s, para_p), (ts, tp)) = bench_pair(REPS, || extract(&layout, &cfg));
+    let ((para_s, para_p), (ts, tp)) = bench_pair(REPS, par_workers, || extract(&layout, &cfg));
     let n = para_s.len();
     phases.push(PhaseRow {
         phase: "extract",
@@ -187,7 +193,7 @@ fn bench_size(size: &SizeSpec) -> SizeReport {
             .inverse()
             .expect("inverse of SPD factor")
     };
-    let ((inv_s, inv_p), (ts, tp)) = bench_pair(REPS, invert);
+    let ((inv_s, inv_p), (ts, tp)) = bench_pair(REPS, par_workers, invert);
     phases.push(PhaseRow {
         phase: "invert S=L^-1",
         serial_s: ts,
@@ -201,7 +207,7 @@ fn bench_size(size: &SizeSpec) -> SizeReport {
         let lu = LuFactor::new(l).expect("L is nonsingular");
         lu.solve(&rhs).expect("solve succeeds")
     };
-    let ((x_s, x_p), (ts, tp)) = bench_pair(REPS, factor_solve);
+    let ((x_s, x_p), (ts, tp)) = bench_pair(REPS, par_workers, factor_solve);
     phases.push(PhaseRow {
         phase: "lu factor",
         serial_s: ts,
@@ -224,7 +230,7 @@ fn bench_size(size: &SizeSpec) -> SizeReport {
         let (res, _) = built.run_transient(&tspec).expect("transient runs");
         built.far_voltage(&res, 0).expect("net 0 recorded")
     };
-    let ((w_s, w_p), (ts, tp)) = bench_pair(1, transient);
+    let ((w_s, w_p), (ts, tp)) = bench_pair(1, par_workers, transient);
     phases.push(PhaseRow {
         phase: "transient",
         serial_s: ts,
@@ -237,7 +243,7 @@ fn bench_size(size: &SizeSpec) -> SizeReport {
         let (res, _) = built.run_ac(&acspec).expect("AC sweep runs");
         res.magnitude(built.model.far_nodes[0]).expect("far node")
     };
-    let ((m_s, m_p), (ts, tp)) = bench_pair(1, ac);
+    let ((m_s, m_p), (ts, tp)) = bench_pair(1, par_workers, ac);
     phases.push(PhaseRow {
         phase: "ac sweep",
         serial_s: ts,
@@ -254,20 +260,21 @@ fn bench_size(size: &SizeSpec) -> SizeReport {
     }
 }
 
-/// Runs `f` at 1 worker and at [`PARALLEL_THREADS`] workers, returning
-/// both results and both best-of-`reps` wall times.
-fn bench_pair<R>(reps: usize, f: impl Fn() -> R) -> ((R, R), (f64, f64)) {
+/// Runs `f` at 1 worker and at `par_workers` workers, returning both
+/// results and both best-of-`reps` wall times.
+fn bench_pair<R>(reps: usize, par_workers: usize, f: impl Fn() -> R) -> ((R, R), (f64, f64)) {
     let (r1, t1) = at_threads(1, || best_of(reps, &f));
-    let (rp, tp) = at_threads(PARALLEL_THREADS, || best_of(reps, &f));
+    let (rp, tp) = at_threads(par_workers, || best_of(reps, &f));
     ((r1, rp), (t1, tp))
 }
 
-fn render_json(reports: &[SizeReport], hw: usize, quick: bool) -> String {
+fn render_json(reports: &[SizeReport], hw: usize, par_workers: usize, quick: bool) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"perf\",");
     let _ = writeln!(out, "  \"available_parallelism\": {hw},");
-    let _ = writeln!(out, "  \"parallel_threads\": {PARALLEL_THREADS},");
+    let _ = writeln!(out, "  \"parallel_threads\": {par_workers},");
+    let _ = writeln!(out, "  \"parallel_threads_requested\": {PARALLEL_THREADS},");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"sizes\": [");
     for (i, rep) in reports.iter().enumerate() {

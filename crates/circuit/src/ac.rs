@@ -106,7 +106,14 @@ pub fn run_ac(ckt: &Circuit, spec: &AcSpec) -> Result<AcResult, CircuitError> {
     // order; on failure the error reported is the one at the lowest
     // failing frequency, matching the serial loop's behaviour.
     let nt = pool::threads_for(spec.frequencies.len(), AC_MIN_POINTS_PER_THREAD);
+    let _sp = vpec_trace::span!(
+        "ac.sweep",
+        "points" => spec.frequencies.len(),
+        "mode" => if nt > 1 { "parallel" } else { "serial" },
+        "workers" => nt,
+    );
     let solved = Pool::with_threads(nt).par_map(&spec.frequencies, |_, &f| {
+        let _ps = vpec_trace::span("ac.point");
         let omega = 2.0 * std::f64::consts::PI * f;
         let a = assemble::<Complex64>(
             ckt,

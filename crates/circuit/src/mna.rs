@@ -183,6 +183,10 @@ pub(crate) fn assemble<T: Scalar>(
             }
         }
     }
+    if vpec_trace::enabled() {
+        vpec_trace::counter_add("mna.assemblies", 1);
+        vpec_trace::counter_add("mna.stamps", a.entries().len() as u64);
+    }
     a
 }
 

@@ -102,6 +102,7 @@ impl<T: Scalar> Factored<T> {
     ) -> Result<(Self, FactorDiagnostics), CircuitError> {
         let csr = coo.to_csr();
         let dim = csr.rows();
+        let mut sp = vpec_trace::span!("factor", "dim" => dim);
         let use_dense = match opts.kind {
             SolverKind::Dense => true,
             SolverKind::Sparse | SolverKind::SparseNoOrdering => false,
@@ -199,6 +200,19 @@ impl<T: Scalar> Factored<T> {
             }
         }
 
+        if vpec_trace::enabled() {
+            for a in &diag.attempts {
+                let tag = if a.succeeded { "ok" } else { "failed" };
+                vpec_trace::counter_add(
+                    &format!("factor.attempt.{}.{tag}", a.strategy.label()),
+                    1,
+                );
+            }
+            if let Some(s) = diag.accepted() {
+                sp.set_attr("strategy", s.label());
+                sp.set_attr("fallback", diag.used_fallback());
+            }
+        }
         match factor {
             Some(f) => {
                 diag.condition_estimate = f.condition_estimate();

@@ -211,6 +211,7 @@ pub fn run_transient_with_report(
     }
 
     let layout = MnaLayout::new(ckt);
+    let mut tr_span = vpec_trace::span!("transient", "dim" => layout.dim);
     let mut dt = spec.dt;
     let mut coef = coef_for(spec.method, dt);
     let trap = spec.method == Integrator::Trapezoidal;
@@ -232,7 +233,10 @@ pub fn run_transient_with_report(
         regularize: spec.regularize,
         fail_primary: spec.faults.fail_primary_factor,
     };
-    let (mut factored, factor_diag) = Factored::factor_with(&a, opts).map_err(remap)?;
+    let (mut factored, factor_diag) = {
+        let _fs = vpec_trace::span("transient.factor");
+        Factored::factor_with(&a, opts).map_err(remap)?
+    };
     let mut diag = TransientDiagnostics {
         factor: factor_diag,
         final_dt: dt,
@@ -243,14 +247,17 @@ pub fn run_transient_with_report(
     // The operating point honors the caller's regularization opt-in (a
     // DC-floating node can still start a meaningful transient), but never
     // the fault injection — that targets the transient factorization.
-    let (dc, _) = solve_dc_opts(
-        ckt,
-        FactorOptions {
-            kind: spec.solver,
-            regularize: spec.regularize,
-            fail_primary: false,
-        },
-    )?;
+    let (dc, _) = {
+        let _ds = vpec_trace::span("transient.dc");
+        solve_dc_opts(
+            ckt,
+            FactorOptions {
+                kind: spec.solver,
+                regularize: spec.regularize,
+                fail_primary: false,
+            },
+        )?
+    };
     let mut x = dc.x;
     debug_assert_eq!(x.len(), layout.dim);
 
@@ -407,6 +414,14 @@ pub fn run_transient_with_report(
             halvings += 1;
             dt /= 2.0;
             coef = coef_for(spec.method, dt);
+            if vpec_trace::enabled() {
+                vpec_trace::instant_event(
+                    "transient.retry",
+                    &format!("non-finite at step {}, dt halved to {dt:.3e}", accepted + 1),
+                );
+                vpec_trace::counter_add("transient.retries", 1);
+                vpec_trace::counter_add("transient.dt_halvings", 1);
+            }
             // Re-assign (not shadow) so the post-loop solve audit checks
             // the residual against the system the factor actually solves.
             a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
@@ -415,7 +430,10 @@ pub fn run_transient_with_report(
                 regularize: spec.regularize,
                 fail_primary: false,
             };
-            let (f, _) = Factored::factor_with(&a, retry_opts).map_err(remap)?;
+            let (f, _) = {
+                let _fs = vpec_trace::span("transient.factor");
+                Factored::factor_with(&a, retry_opts).map_err(remap)?
+            };
             factored = f;
             diag.retries += 1;
             diag.refactorizations += 1;
@@ -493,6 +511,11 @@ pub fn run_transient_with_report(
 
     diag.final_dt = dt;
     diag.steps = accepted;
+    if tr_span.is_active() {
+        vpec_trace::counter_add("transient.steps", accepted as u64);
+        tr_span.set_attr("steps", accepted);
+        tr_span.set_attr("retries", diag.retries);
+    }
     Ok((
         TransientResult {
             times,

@@ -68,6 +68,9 @@ pub struct ParsedArgs {
     /// Numerical-audit level override (`--audit[=LEVEL]`; `None` =
     /// resolve from `VPEC_AUDIT` / the build profile).
     pub audit: Option<AuditLevel>,
+    /// Tracing-sink spec (`--trace[=off|summary|jsonl:PATH]`; `None` =
+    /// resolve from `VPEC_TRACE`).
+    pub trace: Option<String>,
 }
 
 impl Default for ParsedArgs {
@@ -88,6 +91,7 @@ impl Default for ParsedArgs {
             output: None,
             threads: None,
             audit: None,
+            trace: None,
         }
     }
 }
@@ -236,6 +240,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
             }
             "-o" | "--output" => out.output = Some(value("path")?.clone()),
             "--audit" => out.audit = Some(AuditLevel::Full),
+            "--trace" => out.trace = Some("summary".to_string()),
             other => {
                 if let Some(level) = other.strip_prefix("--audit=") {
                     out.audit = Some(AuditLevel::parse(level).ok_or_else(|| {
@@ -243,6 +248,12 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
                             "unknown audit level: {level} (use off, basic or full)"
                         ))
                     })?);
+                } else if let Some(spec) = other.strip_prefix("--trace=") {
+                    // Validate eagerly so a typo fails at parse time, but
+                    // store the raw spec — it is applied process-globally
+                    // by the command runner, not here.
+                    vpec_trace::parse_mode_spec(spec).map_err(CliError::usage)?;
+                    out.trace = Some(spec.to_string());
                 } else {
                     return Err(CliError::usage(format!("unknown option: {other}")));
                 }

@@ -326,13 +326,35 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     if let Some(level) = args.audit {
         audit::set_level(level);
     }
-    match args.command {
+    if let Some(spec) = &args.trace {
+        // `reset` rather than `set_mode_spec`: repeated invocations in one
+        // process (tests) must not leak spans across runs.
+        vpec_trace::reset(spec).map_err(CliError::usage)?;
+    }
+    let result = match args.command {
         crate::Command::Extract => extract(args),
         crate::Command::Model => model(args),
         crate::Command::Simulate => simulate(args),
         crate::Command::Noise => noise(args),
         crate::Command::Export => export(args),
         crate::Command::Help => Ok(crate::USAGE.to_string()),
+    };
+    match (result, vpec_trace::mode()) {
+        (Ok(mut out), vpec_trace::TraceMode::Summary) => {
+            let tree = vpec_trace::summary_tree();
+            if !tree.is_empty() {
+                out.push_str("\n--- trace summary ---\n");
+                out.push_str(&tree);
+            }
+            Ok(out)
+        }
+        (res, vpec_trace::TraceMode::Jsonl) => {
+            // Flush the counter/stat/finish tail even on error so the
+            // stream on disk is always schema-complete.
+            vpec_trace::finish();
+            res
+        }
+        (res, _) => res,
     }
 }
 
@@ -433,6 +455,44 @@ mod tests {
             sim.contains("audit: solve residual"),
             "simulate audit telemetry: {sim}"
         );
+    }
+
+    #[test]
+    fn trace_flag_drives_sinks() {
+        // Summary sink: the report gains a span tree with pipeline phases.
+        let out = run_line("simulate --bits 3 --kind vpec-full --tstop 0.05n --probe 0 --trace")
+            .unwrap();
+        assert!(out.contains("--- trace summary ---"), "summary tree: {out}");
+        assert!(out.contains("extract"), "extract phase traced: {out}");
+        assert!(out.contains("transient"), "transient phase traced: {out}");
+        assert!(out.contains("model.invert"), "inversion traced: {out}");
+
+        // JSONL sink: the stream on disk validates and covers the
+        // pipeline phases.
+        let tmp = std::env::temp_dir().join("vpec_cli_test_trace.jsonl");
+        let line = format!(
+            "simulate --bits 3 --kind vpec-full --tstop 0.05n --probe 0 --trace=jsonl:{}",
+            tmp.display()
+        );
+        run(&parse_args(&argv(&line)).unwrap()).unwrap();
+        let content = std::fs::read_to_string(&tmp).unwrap();
+        let summary = vpec_trace::validate_jsonl(&content).unwrap();
+        assert!(summary.opens > 0 && summary.closes > 0);
+        for phase in ["extract", "model.invert", "factor", "transient"] {
+            assert!(
+                summary.span_names.iter().any(|n| n == phase),
+                "jsonl stream must cover {phase}: {:?}",
+                summary.span_names
+            );
+        }
+        let _ = std::fs::remove_file(&tmp);
+
+        // Off again so later tests in this process run untraced.
+        vpec_trace::reset("off").unwrap();
+
+        // Bad specs are parse-time usage errors.
+        assert!(parse_args(&argv("simulate --trace=wat")).is_err());
+        assert!(parse_args(&argv("simulate --trace=jsonl")).is_err());
     }
 
     #[test]

@@ -94,6 +94,11 @@ COMMON OPTIONS:
   --audit[=LEVEL]   numerical-correctness audits: off | basic | full
                     (bare --audit = full; default: VPEC_AUDIT env, then
                     full in debug builds, off in release builds)
+  --trace[=MODE]    structured tracing: off | summary | jsonl:PATH
+                    (bare --trace = summary; default: VPEC_TRACE env,
+                    then off). summary appends a span tree with per-phase
+                    wall time; jsonl streams open/close/counter events to
+                    PATH, one JSON object per line
   -o FILE           output file (simulate: CSV; export: SPICE deck)
 
 DIAGNOSTICS:
@@ -110,6 +115,12 @@ DIAGNOSTICS:
   check). Violations carry the matrix name, index and magnitude, and
   abort the pipeline with a typed error instead of producing silently
   wrong waveforms.
+
+  With tracing enabled (--trace or VPEC_TRACE=summary|jsonl:PATH), every
+  pipeline phase is timed as a hierarchical span: extract, model.invert,
+  build, factor, dc, transient and ac.sweep, down to the parallel-kernel
+  dispatch decisions (serial vs striped, worker counts). When tracing is
+  off the instrumentation costs one relaxed atomic load per site.
 
 Values accept SPICE suffixes: 1p, 0.5n, 10m, 2k, 10meg, ...
 ";

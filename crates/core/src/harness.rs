@@ -104,6 +104,7 @@ impl Experiment {
     /// [`CoreError::InvalidParameter`] when called with
     /// [`ModelKind::Peec`], or any model-construction failure.
     pub fn vpec_model(&self, kind: ModelKind) -> Result<(VpecModel, f64), CoreError> {
+        let _sp = vpec_trace::span!("model.build", "kind" => kind.label());
         let t0 = Instant::now();
         let model = match kind {
             ModelKind::Peec | ModelKind::ShiftTruncated { .. } => {
@@ -142,6 +143,8 @@ impl Experiment {
     ///
     /// Any model- or netlist-construction failure.
     pub fn build(&self, kind: ModelKind) -> Result<BuiltModel, CoreError> {
+        let trace_mark = vpec_trace::mark();
+        let _sp = vpec_trace::span!("build", "kind" => kind.label());
         let t0 = Instant::now();
         // Extraction-boundary audit: gated, no-op when auditing is off.
         crate::invariants::enforce_parasitics(&self.parasitics)?;
@@ -192,6 +195,7 @@ impl Experiment {
             build_seconds,
             sparse_factor,
             repair,
+            trace_mark,
         })
     }
 }
@@ -218,6 +222,10 @@ pub struct SolveReport {
     /// Solve-time audit telemetry (`None` when auditing was off or no
     /// audited solve ran).
     pub audit: Option<SolveAudit>,
+    /// Per-phase wall-time breakdown aggregated from trace spans closed
+    /// between the start of the model build and the end of the solve.
+    /// Empty when tracing ([`vpec_trace`]) is off.
+    pub phases: Vec<vpec_trace::PhaseTotal>,
 }
 
 impl SolveReport {
@@ -278,6 +286,15 @@ impl SolveReport {
         if let Some(s) = self.solve_seconds {
             out.push(format!("solve phase: {:.3} ms", s * 1e3));
         }
+        for p in &self.phases {
+            out.push(format!(
+                "phase {}: {:.3} ms over {} span{}",
+                p.name,
+                p.seconds * 1e3,
+                p.count,
+                if p.count == 1 { "" } else { "s" },
+            ));
+        }
         out
     }
 }
@@ -296,6 +313,9 @@ pub struct BuiltModel {
     /// Passivity-repair record for sparsified VPEC kinds (`None` when the
     /// kind never needs repair).
     pub repair: Option<RepairReport>,
+    /// Trace position taken when the build started, so a later solve can
+    /// aggregate the build + solve phases into [`SolveReport::phases`].
+    pub trace_mark: vpec_trace::Mark,
 }
 
 impl BuiltModel {
@@ -336,6 +356,7 @@ impl BuiltModel {
             build_seconds: Some(self.build_seconds),
             solve_seconds: Some(solve_seconds),
             audit,
+            phases: vpec_trace::phase_totals_since(self.trace_mark),
         };
         Ok((res, report, solve_seconds))
     }

@@ -44,9 +44,16 @@ impl VpecModel {
                 reason: "cannot build a VPEC model over zero filaments",
             });
         }
+        let mut sp = vpec_trace::span!("model.invert", "dim" => n);
         let s = match Cholesky::new(l) {
-            Ok(ch) => ch.inverse()?,
-            Err(_) => LuFactor::new(l)?.inverse()?,
+            Ok(ch) => {
+                sp.set_attr("backend", "cholesky");
+                ch.inverse()?
+            }
+            Err(_) => {
+                sp.set_attr("backend", "lu");
+                LuFactor::new(l)?.inverse()?
+            }
         };
         Ok(Self::from_inverse(&s, &parasitics.lengths))
     }

@@ -67,6 +67,7 @@ impl RepairReport {
 /// strictly diagonally dominant with a positive diagonal, and therefore
 /// SPD — i.e. passive in the sense of the paper's Theorem 1.
 pub fn repair_passivity(model: &VpecModel, margin: f64) -> (VpecModel, RepairReport) {
+    let mut sp = vpec_trace::span!("model.repair", "dim" => model.len());
     let n = model.len();
     let mut off_sum = vec![0.0f64; n];
     for &(i, j, v) in model.g_off() {
@@ -102,6 +103,12 @@ pub fn repair_passivity(model: &VpecModel, margin: f64) -> (VpecModel, RepairRep
         }
     }
 
+    if sp.is_active() {
+        sp.set_attr("rows_repaired", report.rows_repaired);
+        if report.rows_repaired > 0 {
+            vpec_trace::counter_add("repair.rows", report.rows_repaired as u64);
+        }
+    }
     if report.rows_repaired == 0 {
         return (model.clone(), report);
     }

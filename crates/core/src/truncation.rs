@@ -30,6 +30,7 @@ pub fn truncate_geometric(
     nw: usize,
     nl: usize,
 ) -> Result<VpecModel, CoreError> {
+    let _sp = vpec_trace::span!("model.truncate", "kind" => "geometric", "dim" => full.len());
     if nw == 0 || nl == 0 {
         return Err(CoreError::InvalidParameter {
             reason: "truncating window dimensions must be at least 1",
@@ -65,6 +66,7 @@ pub fn truncate_geometric(
 /// [`CoreError::InvalidParameter`] if `threshold` is negative or not
 /// finite.
 pub fn truncate_numerical(full: &VpecModel, threshold: f64) -> Result<VpecModel, CoreError> {
+    let _sp = vpec_trace::span!("model.truncate", "kind" => "numerical", "dim" => full.len());
     if !threshold.is_finite() || threshold < 0.0 {
         return Err(CoreError::InvalidParameter {
             reason: "truncation threshold must be a nonnegative finite number",

@@ -56,6 +56,11 @@ fn validate_inductance(l: &DenseMatrix<f64>) -> Result<(), CoreError> {
 /// * [`CoreError::BadInductanceMatrix`] if `L` has non-finite entries, a
 ///   non-positive diagonal, or a singular window submatrix.
 pub fn windowed_geometric(parasitics: &Parasitics, b: usize) -> Result<VpecModel, CoreError> {
+    let _sp = vpec_trace::span!(
+        "model.window",
+        "kind" => "geometric",
+        "dim" => parasitics.inductance.rows(),
+    );
     if b == 0 {
         return Err(CoreError::InvalidParameter {
             reason: "window size b must be at least 1",
@@ -93,6 +98,11 @@ pub fn windowed_geometric(parasitics: &Parasitics, b: usize) -> Result<VpecModel
 ///   non-positive diagonal (which would divide the coupling ratio by
 ///   zero), or a singular window submatrix.
 pub fn windowed_numerical(parasitics: &Parasitics, threshold: f64) -> Result<VpecModel, CoreError> {
+    let _sp = vpec_trace::span!(
+        "model.window",
+        "kind" => "numerical",
+        "dim" => parasitics.inductance.rows(),
+    );
     if !threshold.is_finite() || threshold < 0.0 {
         return Err(CoreError::InvalidParameter {
             reason: "window threshold must be a nonnegative finite number",

@@ -21,7 +21,9 @@ use vpec_geometry::Filament;
 use vpec_numerics::{pool, DenseMatrix, Pool};
 
 /// Minimum matrix rows per worker before assembly goes parallel.
-const ASSEMBLY_MIN_ROWS_PER_THREAD: usize = 8;
+/// `BENCH_perf.json` measured parallel extraction at 0.29–0.88 of serial
+/// speed through 224 filaments, so small layouts stay serial.
+const ASSEMBLY_MIN_ROWS_PER_THREAD: usize = 64;
 
 /// `μ₀ / 4π` (H/m) — exactly 1e-7 for the classical μ₀.
 const MU0_OVER_4PI: f64 = MU0 / (4.0 * std::f64::consts::PI);
@@ -132,6 +134,13 @@ pub fn partial_inductance_matrix(filaments: &[Filament]) -> DenseMatrix<f64> {
     // evaluated with the same argument order as the serial loop, so the
     // matrix is bit-identical at any thread count.
     let nt = pool::threads_for(n, ASSEMBLY_MIN_ROWS_PER_THREAD);
+    let _sp = vpec_trace::span!(
+        "extract.inductance",
+        "filaments" => n,
+        "mode" => if nt > 1 { "parallel" } else { "serial" },
+        "workers" => nt,
+    );
+    vpec_trace::counter_add("extract.inductance.pairs", (n * (n + 1) / 2) as u64);
     Pool::with_threads(nt).par_chunks_mut(l.as_mut_slice(), n.max(1), |off, row| {
         let i = off / n.max(1);
         row[i] = self_inductance(&filaments[i]);

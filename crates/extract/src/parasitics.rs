@@ -8,8 +8,10 @@ use vpec_geometry::Layout;
 use vpec_numerics::{pool, DenseMatrix, Pool};
 
 /// Minimum filaments per worker before the per-filament tables and the
-/// O(n²) coupling scan go parallel.
-const EXTRACT_MIN_ITEMS_PER_THREAD: usize = 16;
+/// O(n²) coupling scan go parallel. `BENCH_perf.json` measured parallel
+/// extraction at 0.29–0.88 of serial speed through 224 filaments, so
+/// small layouts stay serial.
+const EXTRACT_MIN_ITEMS_PER_THREAD: usize = 64;
 
 /// Extracted RLCM parasitics of a layout, indexed by filament in
 /// [`Layout::filaments`] order.
@@ -66,10 +68,19 @@ pub fn extract(layout: &Layout, config: &ExtractionConfig) -> Parasitics {
     let fils = layout.filaments();
     let n = fils.len();
 
+    let nt = pool::threads_for(n, EXTRACT_MIN_ITEMS_PER_THREAD);
+    let _sp = vpec_trace::span!(
+        "extract",
+        "filaments" => n,
+        "mode" => if nt > 1 { "parallel" } else { "serial" },
+        "workers" => nt,
+    );
+
     let inductance = partial_inductance_matrix(fils);
 
     // Per-filament tables: independent per entry, mapped in order.
-    let pool = Pool::with_threads(pool::threads_for(n, EXTRACT_MIN_ITEMS_PER_THREAD));
+    let tables_span = vpec_trace::span("extract.tables");
+    let pool = Pool::with_threads(nt);
     let per_fil = pool.par_map(fils, |_, f| {
         let mut r = if config.skin_effect {
             ac_resistance(f, config.resistivity, config.frequency)
@@ -90,10 +101,12 @@ pub fn extract(layout: &Layout, config: &ExtractionConfig) -> Parasitics {
         cap_ground.push(cg);
         lengths.push(len);
     }
+    drop(tables_span);
 
     // Coupling scan: each worker owns the row `i` of the (i, j>i) pair
     // space; flattening row results in index order reproduces the serial
     // pair ordering exactly.
+    let coupling_span = vpec_trace::span("extract.coupling");
     let cap_coupling: Vec<(usize, usize, f64)> = pool
         .par_map_index(n, |i| {
             let a = &fils[i];
@@ -115,6 +128,8 @@ pub fn extract(layout: &Layout, config: &ExtractionConfig) -> Parasitics {
         .into_iter()
         .flatten()
         .collect();
+    drop(coupling_span);
+    vpec_trace::counter_add("extract.coupling.pairs", cap_coupling.len() as u64);
 
     Parasitics {
         inductance,

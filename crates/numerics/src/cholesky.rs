@@ -13,7 +13,9 @@ use crate::pool::{self, Pool};
 use crate::{DenseMatrix, NumericsError};
 
 /// Minimum columns per worker before the inverse goes parallel.
-const INVERSE_MIN_COLS_PER_THREAD: usize = 8;
+/// `BENCH_perf.json` measured the parallel `S = L⁻¹` at 0.22–0.61 of
+/// serial speed up to 224 columns, so small problems stay serial.
+const INVERSE_MIN_COLS_PER_THREAD: usize = 64;
 
 /// Cholesky factorization `A = G·Gᵀ` of a symmetric positive-definite real
 /// matrix (G lower-triangular).
@@ -66,6 +68,11 @@ impl Cholesky {
             });
         }
         let n = a.rows();
+        let _sp = vpec_trace::span!(
+            "cholesky.factor",
+            "dim" => n,
+            "mode" => if pool::elim_parallel(n, threads) { "striped" } else { "serial" },
+        );
         let mut g = DenseMatrix::<f64>::zeros(n, n);
         pool::cholesky_eliminate(a.as_slice(), g.as_mut_slice(), n, threads)?;
         Ok(Cholesky { g })
@@ -133,6 +140,12 @@ impl Cholesky {
         // `S = L⁻¹` hot path of the full VPEC extraction. par_map_index is
         // order-preserving, so the result matches the serial loop exactly.
         let nt = pool::threads_for(n, INVERSE_MIN_COLS_PER_THREAD);
+        let _sp = vpec_trace::span!(
+            "cholesky.inverse",
+            "dim" => n,
+            "mode" => if nt > 1 { "parallel" } else { "serial" },
+            "workers" => nt,
+        );
         let cols = Pool::with_threads(nt).par_map_index(n, |j| {
             let mut e = vec![0.0; n];
             e[j] = 1.0;

@@ -11,8 +11,9 @@ const MATMUL_ROW_BLOCK: usize = 4;
 /// Inner-dimension tile: keeps a band of `B` rows hot in cache while the
 /// rows of a block are updated.
 const MATMUL_K_BLOCK: usize = 64;
-/// Minimum output rows per worker before matmul goes parallel.
-const MATMUL_MIN_ROWS_PER_THREAD: usize = 16;
+/// Minimum output rows per worker before matmul goes parallel. Kept well
+/// above the spawn-overhead crossover measured in `BENCH_perf.json`.
+const MATMUL_MIN_ROWS_PER_THREAD: usize = 64;
 
 /// A row-major dense matrix over a [`Scalar`] type.
 ///
@@ -162,6 +163,7 @@ impl<T: Scalar> DenseMatrix<T> {
                 found: (x.len(), 1),
             });
         }
+        vpec_trace::counter_add("dense.matvec.flops_est", (2 * self.rows * self.cols) as u64);
         let mut y = vec![T::zero(); self.rows];
         for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
@@ -198,6 +200,15 @@ impl<T: Scalar> DenseMatrix<T> {
         // naive triple loop, so results are bit-identical at any thread
         // count (including the serial fallback).
         let nt = pool::threads_for(self.rows, MATMUL_MIN_ROWS_PER_THREAD);
+        vpec_trace::counter_add(
+            "dense.matmul.flops_est",
+            (2 * self.rows * inner * ocols) as u64,
+        );
+        let _sp = vpec_trace::span!(
+            "dense.matmul",
+            "rows" => self.rows,
+            "mode" => if nt > 1 { "parallel" } else { "serial" },
+        );
         Pool::with_threads(nt).par_chunks_mut(
             &mut out.data,
             MATMUL_ROW_BLOCK * ocols.max(1),

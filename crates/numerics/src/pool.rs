@@ -46,6 +46,21 @@ use std::sync::{Barrier, Mutex, OnceLock};
 /// Process-wide thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Minimum matrix dimension before the striped eliminations go parallel.
+///
+/// Below this the barrier traffic of the striped update dominates the
+/// O(n³) arithmetic: `BENCH_perf.json` measured striped-LU "speedups" of
+/// 0.07 at n = 96 and 0.30 at n = 224 against the serial loop, so the
+/// crossover sits above both.
+pub const ELIM_PAR_MIN_DIM: usize = 256;
+
+/// `true` when [`lu_eliminate`] / [`cholesky_eliminate`] will take the
+/// striped parallel path for an `n × n` matrix at this worker count.
+/// Exposed so callers can record the chosen mode in trace spans.
+pub fn elim_parallel(n: usize, threads: usize) -> bool {
+    threads > 1 && n >= ELIM_PAR_MIN_DIM
+}
+
 /// Upper bound on the worker count — far above any sane machine, it only
 /// guards against `VPEC_THREADS=1000000` exhausting process resources.
 const MAX_WORKERS: usize = 256;
@@ -143,20 +158,25 @@ impl Pool {
     {
         assert!(chunk_len > 0, "chunk_len must be positive");
         if self.threads <= 1 || data.len() <= chunk_len {
+            vpec_trace::counter_add("pool.dispatch.serial", 1);
             for (k, c) in data.chunks_mut(chunk_len).enumerate() {
                 f(k * chunk_len, c);
             }
             return;
         }
+        vpec_trace::counter_add("pool.dispatch.parallel", 1);
         let nt = self.threads.min(data.len().div_ceil(chunk_len));
         let mut lists: Vec<Vec<(usize, &mut [T])>> = (0..nt).map(|_| Vec::new()).collect();
         for (k, c) in data.chunks_mut(chunk_len).enumerate() {
             lists[k % nt].push((k * chunk_len, c));
         }
         let f = &f;
+        let parent = vpec_trace::current_span();
         std::thread::scope(|s| {
             for list in lists {
+                vpec_trace::record_value("pool.tasks_per_worker", list.len() as f64);
                 s.spawn(move || {
+                    let _link = vpec_trace::parent_scope(parent);
                     for (off, c) in list {
                         f(off, c);
                     }
@@ -174,8 +194,10 @@ impl Pool {
         F: Fn(usize, &T) -> R + Sync,
     {
         if self.threads <= 1 || items.len() <= 1 {
+            vpec_trace::counter_add("pool.dispatch.serial", 1);
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
+        vpec_trace::counter_add("pool.dispatch.parallel", 1);
         let n = items.len();
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
@@ -189,9 +211,12 @@ impl Pool {
             lists[k % nt].push((k * chunk, ic, oc));
         }
         let f = &f;
+        let parent = vpec_trace::current_span();
         std::thread::scope(|s| {
             for list in lists {
+                vpec_trace::record_value("pool.tasks_per_worker", list.len() as f64);
                 s.spawn(move || {
+                    let _link = vpec_trace::parent_scope(parent);
                     for (base, ic, oc) in list {
                         for (i, (t, o)) in ic.iter().zip(oc.iter_mut()).enumerate() {
                             *o = Some(f(base + i, t));
@@ -213,8 +238,10 @@ impl Pool {
         F: Fn(usize) -> R + Sync,
     {
         if self.threads <= 1 || n <= 1 {
+            vpec_trace::counter_add("pool.dispatch.serial", 1);
             return (0..n).map(f).collect();
         }
+        vpec_trace::counter_add("pool.dispatch.parallel", 1);
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
         let chunk = n.div_ceil(self.threads * 4).max(1);
@@ -226,9 +253,12 @@ impl Pool {
             lists[k % nt].push((k * chunk, oc));
         }
         let f = &f;
+        let parent = vpec_trace::current_span();
         std::thread::scope(|s| {
             for list in lists {
+                vpec_trace::record_value("pool.tasks_per_worker", list.len() as f64);
                 s.spawn(move || {
+                    let _link = vpec_trace::parent_scope(parent);
                     for (base, oc) in list {
                         for (i, o) in oc.iter_mut().enumerate() {
                             *o = Some(f(base + i));
@@ -258,8 +288,12 @@ impl Pool {
             let rb = b();
             return (ra, rb);
         }
+        let parent = vpec_trace::current_span();
         std::thread::scope(|s| {
-            let hb = s.spawn(b);
+            let hb = s.spawn(move || {
+                let _link = vpec_trace::parent_scope(parent);
+                b()
+            });
             let ra = a();
             let rb = match hb.join() {
                 Ok(rb) => rb,
@@ -297,11 +331,13 @@ pub fn lu_eliminate<T: Scalar>(
 ) -> Result<(Vec<usize>, f64), NumericsError> {
     assert_eq!(data.len(), n * n, "lu_eliminate: shape mismatch");
     // The striped path needs enough trailing rows per column to amortize
-    // barrier traffic; below this the serial loop wins outright.
-    const PAR_MIN_DIM: usize = 96;
-    if threads <= 1 || n < PAR_MIN_DIM {
+    // barrier traffic; below [`ELIM_PAR_MIN_DIM`] the serial loop wins
+    // outright (see the measurements cited at the constant).
+    if !elim_parallel(n, threads) {
+        vpec_trace::counter_add("pool.elim.serial", 1);
         return lu_eliminate_serial(data, n);
     }
+    vpec_trace::counter_add("pool.elim.striped", 1);
     lu_eliminate_striped(data, n, threads.min(MAX_WORKERS))
 }
 
@@ -377,10 +413,11 @@ pub fn cholesky_eliminate(
 ) -> Result<(), NumericsError> {
     assert_eq!(a.len(), n * n, "cholesky_eliminate: shape mismatch");
     assert_eq!(g.len(), n * n, "cholesky_eliminate: shape mismatch");
-    const PAR_MIN_DIM: usize = 96;
-    if threads <= 1 || n < PAR_MIN_DIM {
+    if !elim_parallel(n, threads) {
+        vpec_trace::counter_add("pool.elim.serial", 1);
         return cholesky_eliminate_serial(a, g, n);
     }
+    vpec_trace::counter_add("pool.elim.striped", 1);
     cholesky_eliminate_striped(a, g, n, threads.min(MAX_WORKERS))
 }
 
@@ -720,7 +757,7 @@ mod tests {
 
     #[test]
     fn striped_lu_is_bit_identical_to_serial() {
-        let n = 40; // below PAR_MIN_DIM: call the striped path directly
+        let n = 40; // below ELIM_PAR_MIN_DIM: call the striped path directly
         let reference = {
             let mut m = random_matrix(n, 11);
             let pp = lu_eliminate_serial(&mut m, n).unwrap();
@@ -791,7 +828,8 @@ mod tests {
 
     #[test]
     fn public_eliminators_dispatch_serial_below_threshold() {
-        // n < PAR_MIN_DIM must take the serial path even with threads > 1.
+        // n < ELIM_PAR_MIN_DIM must take the serial path even with
+        // threads > 1.
         let n = 12;
         let mut m = random_matrix(n, 3);
         let mut m2 = m.clone();

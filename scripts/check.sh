@@ -37,4 +37,51 @@ for key in '"bench": "perf"' '"available_parallelism"' '"phases"' \
   fi
 done
 
+echo "==> trace JSONL smoke run (model --trace=jsonl, schema validation)"
+trace_jsonl="target/trace_smoke.jsonl"
+cargo run --release -q -p vpec-cli --bin vpec -- \
+  model --bits 8 --kind vpec-full --trace=jsonl:"$trace_jsonl" > /dev/null
+# Schema check with the crate's own validator: every line parses, every
+# close matches an open, no id opens twice. Exit 1 on any violation.
+cargo run --release -q -p vpec-bench --bin trace -- --validate "$trace_jsonl"
+for phase in extract model.invert model.build; do
+  if ! grep -q "\"name\":\"$phase\"" "$trace_jsonl"; then
+    echo "trace stream is missing the $phase phase span" >&2
+    exit 1
+  fi
+done
+
+echo "==> trace bench smoke run (--quick, serial-vs-parallel attribution)"
+trace_json="target/bench_trace_smoke.json"
+# The bin itself exits 1 if any required phase span (extract,
+# model.invert, factor, transient, ac.sweep) is missing from the run.
+cargo run --release -q -p vpec-bench --bin trace -- --quick --out "$trace_json"
+for key in '"bench": "trace"' '"phases"' '"serial_seconds"' \
+           '"parallel_seconds"' '"speedup"'; do
+  if ! grep -q "$key" "$trace_json"; then
+    echo "BENCH_trace smoke output is malformed: missing $key" >&2
+    exit 1
+  fi
+done
+
+echo "==> trace-off overhead assertion (quick perf vs tracked BENCH_perf.json)"
+# The perf smoke above ran with tracing off (the default), so its small
+# layout must not be grossly slower than the tracked baseline: the
+# disabled trace path is one relaxed atomic load per site, and a
+# regression there (e.g. formatting on the disabled path of a hot
+# counter) shows up as a multiple, not a percentage. The 3x tolerance
+# absorbs machine noise while still catching that class of bug.
+if [ -f BENCH_perf.json ]; then
+  baseline=$(awk '/"name": "small"/{s=1;next} s&&/"name": "/{exit} s&&/"serial_seconds"/{gsub(/[,]/,"");t+=$2} END{printf "%.9e", t}' BENCH_perf.json)
+  current=$(awk '/"name": "small"/{s=1;next} s&&/"name": "/{exit} s&&/"serial_seconds"/{gsub(/[,]/,"");t+=$2} END{printf "%.9e", t}' "$smoke_json")
+  awk -v b="$baseline" -v c="$current" 'BEGIN {
+    if (b <= 0) { print "no small-layout baseline in BENCH_perf.json; skipping"; exit 0 }
+    ratio = c / b
+    printf "small layout serial total: baseline %.3e s, current %.3e s (ratio %.2f)\n", b, c, ratio
+    if (ratio > 3.0) { print "trace-off overhead regression: quick perf is >3x the tracked baseline" > "/dev/stderr"; exit 1 }
+  }'
+else
+  echo "BENCH_perf.json not tracked yet; skipping overhead comparison"
+fi
+
 echo "==> all checks passed"

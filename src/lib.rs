@@ -13,7 +13,9 @@
 //! * [`circuit`] — netlists, DC/transient/AC analyses, waveform metrics,
 //!   SPICE export;
 //! * [`core`] — the VPEC models, sparsifications, passivity checks, and
-//!   the experiment harness.
+//!   the experiment harness;
+//! * [`trace`] — structured tracing and metrics: spans, counters, and
+//!   JSONL export, gated by `VPEC_TRACE` / `--trace`.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@ pub use vpec_core as core;
 pub use vpec_extract as extract;
 pub use vpec_geometry as geometry;
 pub use vpec_numerics as numerics;
+pub use vpec_trace as trace;
 
 /// One-stop imports for typical use.
 pub mod prelude {
