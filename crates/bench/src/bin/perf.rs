@@ -25,9 +25,10 @@ use vpec_circuit::ac::AcSpec;
 use vpec_circuit::TransientSpec;
 use vpec_core::harness::{Experiment, ModelKind};
 use vpec_core::DriveConfig;
+use vpec_engine::ModelCache;
 use vpec_extract::{extract, ExtractionConfig, Parasitics};
 use vpec_geometry::BusSpec;
-use vpec_numerics::{pool, Cholesky, LuFactor};
+use vpec_numerics::{pool, CancelToken, Cholesky, LuFactor};
 
 /// Requested worker count for the "parallel" column. The count actually
 /// used (and recorded in the JSON) is clamped to `available_parallelism`:
@@ -81,6 +82,55 @@ struct SizeReport {
     phases: Vec<PhaseRow>,
 }
 
+/// Cold model build vs geometry-keyed cache hit for a repeated-geometry
+/// batch (what the engine's [`ModelCache`] buys `vpec batch`/`serve`).
+struct CacheReport {
+    bits: usize,
+    segments: usize,
+    hit_requests: usize,
+    cold_build_s: f64,
+    cache_hit_s: f64,
+}
+
+/// Times one cold extraction+build and `hits` repeated-geometry lookups
+/// against the same cache. The hit column rebuilds the layout each time —
+/// exactly what `run_stream` does per request — so it includes the
+/// geometry construction and content-hash cost the cache cannot avoid.
+fn bench_model_cache(bits: usize, segments: usize, hits: usize) -> CacheReport {
+    let cfg = ExtractionConfig::paper_default();
+    let cancel = CancelToken::none();
+    let mut cache = ModelCache::new();
+    let build = |cache: &mut ModelCache| {
+        let layout = BusSpec::new(bits).segments(segments).build();
+        let first_signal = layout.signal_nets().first().copied().unwrap_or(0);
+        let drive = vpec_core::DriveConfig::paper_default().aggressors(vec![first_signal]);
+        let (hash, exp, _) = cache.experiment_for(layout, &cfg, drive);
+        cache
+            .model_for(hash, &exp, ModelKind::VpecFull, &cancel)
+            .expect("model builds")
+    };
+
+    let t0 = Instant::now();
+    let (_, hit) = build(&mut cache);
+    let cold_build_s = t0.elapsed().as_secs_f64();
+    assert!(!hit, "first build is a miss");
+
+    let t0 = Instant::now();
+    for _ in 0..hits {
+        let (_, hit) = build(&mut cache);
+        assert!(hit, "repeated geometry is served from the cache");
+    }
+    let cache_hit_s = t0.elapsed().as_secs_f64() / hits.max(1) as f64;
+
+    CacheReport {
+        bits,
+        segments,
+        hit_requests: hits,
+        cold_build_s,
+        cache_hit_s,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -103,6 +153,11 @@ fn main() {
     let sizes: &[SizeSpec] = if quick { &SIZES[..1] } else { &SIZES[..] };
     let t0 = Instant::now();
     let reports: Vec<SizeReport> = sizes.iter().map(|s| bench_size(s, par_workers)).collect();
+    let cache = bench_model_cache(
+        SIZES[0].bits,
+        SIZES[0].segments,
+        if quick { 3 } else { 10 },
+    );
     // Leave the pool in its default (auto) state.
     pool::set_threads(0);
 
@@ -124,7 +179,18 @@ fn main() {
         print!("{}", table.render());
     }
 
-    let json = render_json(&reports, hw, par_workers, quick);
+    println!(
+        "\nmodel cache ({} bits x {} segments, full VPEC): cold build {} vs cache hit {} \
+         over {} repeated requests ({})",
+        cache.bits,
+        cache.segments,
+        secs(cache.cold_build_s),
+        secs(cache.cache_hit_s),
+        cache.hit_requests,
+        speedup(cache.cold_build_s, cache.cache_hit_s),
+    );
+
+    let json = render_json(&reports, &cache, hw, par_workers, quick);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {
@@ -268,7 +334,13 @@ fn bench_pair<R>(reps: usize, par_workers: usize, f: impl Fn() -> R) -> ((R, R),
     ((r1, rp), (t1, tp))
 }
 
-fn render_json(reports: &[SizeReport], hw: usize, par_workers: usize, quick: bool) -> String {
+fn render_json(
+    reports: &[SizeReport],
+    cache: &CacheReport,
+    hw: usize,
+    par_workers: usize,
+    quick: bool,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"perf\",");
@@ -303,6 +375,26 @@ fn render_json(reports: &[SizeReport], hw: usize, par_workers: usize, quick: boo
         let comma = if i + 1 < reports.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
-    out.push_str("  ]\n}\n");
+    // NB: key names deliberately avoid the "serial_seconds" substring the
+    // CI overhead check greps for inside the sizes array.
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"model_cache\": {{");
+    let _ = writeln!(out, "    \"bits\": {},", cache.bits);
+    let _ = writeln!(out, "    \"segments\": {},", cache.segments);
+    let _ = writeln!(out, "    \"kind\": \"vpec-full\",");
+    let _ = writeln!(out, "    \"hit_requests\": {},", cache.hit_requests);
+    let _ = writeln!(
+        out,
+        "    \"cold_build_seconds\": {:.6e},",
+        cache.cold_build_s
+    );
+    let _ = writeln!(out, "    \"cache_hit_seconds\": {:.6e},", cache.cache_hit_s);
+    let hit_speedup = if cache.cache_hit_s > 0.0 {
+        cache.cold_build_s / cache.cache_hit_s
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "    \"hit_speedup\": {hit_speedup:.3}");
+    out.push_str("  }\n}\n");
     out
 }

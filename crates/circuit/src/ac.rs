@@ -10,6 +10,7 @@ use crate::mna::{add_source_rhs, assemble, MnaLayout};
 use crate::netlist::Circuit;
 use crate::result::AcResult;
 use crate::solver::{Factored, SolverKind};
+use vpec_numerics::cancel::CancelToken;
 use vpec_numerics::{pool, Complex64, Pool};
 
 /// Minimum sweep points per worker before the AC sweep goes parallel.
@@ -22,6 +23,9 @@ pub struct AcSpec {
     pub frequencies: Vec<f64>,
     /// Linear-solver backend.
     pub solver: SolverKind,
+    /// Cooperative cancellation, polled once per sweep point. Disarmed by
+    /// default; the engine's deadline watchdog arms it.
+    pub cancel: CancelToken,
 }
 
 impl AcSpec {
@@ -61,6 +65,7 @@ impl AcSpec {
         Ok(AcSpec {
             frequencies,
             solver: SolverKind::Auto,
+            cancel: CancelToken::none(),
         })
     }
 
@@ -69,6 +74,7 @@ impl AcSpec {
         AcSpec {
             frequencies,
             solver: SolverKind::Auto,
+            cancel: CancelToken::none(),
         }
     }
 
@@ -76,6 +82,13 @@ impl AcSpec {
     #[must_use]
     pub fn solver(mut self, s: SolverKind) -> Self {
         self.solver = s;
+        self
+    }
+
+    /// Attaches a cancellation token, polled once per sweep point.
+    #[must_use]
+    pub fn cancel_token(mut self, t: CancelToken) -> Self {
+        self.cancel = t;
         self
     }
 }
@@ -113,6 +126,9 @@ pub fn run_ac(ckt: &Circuit, spec: &AcSpec) -> Result<AcResult, CircuitError> {
         "workers" => nt,
     );
     let solved = Pool::with_threads(nt).par_map(&spec.frequencies, |_, &f| {
+        if spec.cancel.is_cancelled() {
+            return Err(CircuitError::Cancelled { analysis: "ac" });
+        }
         let _ps = vpec_trace::span("ac.point");
         let omega = 2.0 * std::f64::consts::PI * f;
         let a = assemble::<Complex64>(
@@ -276,6 +292,22 @@ mod tests {
         c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
         assert!(run_ac(&c, &AcSpec::points(vec![])).is_err());
         assert!(run_ac(&c, &AcSpec::points(vec![-1.0])).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_sweep() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        c.add_vsource_ac("V1", inp, Circuit::GROUND, Waveform::dc(0.0), 1.0, 0.0)
+            .unwrap();
+        c.add_resistor("R1", inp, Circuit::GROUND, 1.0).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let spec = AcSpec::points(vec![1e6, 1e7]).cancel_token(token);
+        assert!(matches!(
+            run_ac(&c, &spec),
+            Err(CircuitError::Cancelled { analysis: "ac" })
+        ));
     }
 
     #[test]

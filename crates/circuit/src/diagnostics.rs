@@ -165,32 +165,10 @@ impl TransientDiagnostics {
     }
 }
 
-/// Test-only fault injection at pipeline stage boundaries.
-///
-/// Defaults to "inject nothing". Carried by analysis specs so
-/// integration tests (and the CLI's hidden `--inject` flag) can exercise
-/// every branch of the recovery chain deterministically.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultInjection {
-    /// Report the primary factorization backend as failed, forcing the
-    /// fallback chain to engage.
-    pub fail_primary_factor: bool,
-    /// Poison the transient solution with NaN once, right after this
-    /// accepted step count (0 poisons the first computed step).
-    pub poison_step: Option<usize>,
-}
-
-impl FaultInjection {
-    /// No faults — the default.
-    pub fn none() -> Self {
-        FaultInjection::default()
-    }
-
-    /// `true` if any fault is armed.
-    pub fn is_armed(&self) -> bool {
-        self.fail_primary_factor || self.poison_step.is_some()
-    }
-}
+// The struct itself now lives in `vpec_numerics::fault` (the bottom of
+// the crate stack) so extraction and the engine can consume it too; this
+// re-export keeps the original `vpec_circuit::diagnostics` path working.
+pub use vpec_numerics::fault::FaultInjection;
 
 #[cfg(test)]
 mod tests {

@@ -53,6 +53,12 @@ pub enum CircuitError {
     },
     /// An underlying numerics failure that is not a plain singularity.
     Numerics(NumericsError),
+    /// The analysis observed its cancellation token set and stopped
+    /// cooperatively (engine deadline enforcement, not a numeric failure).
+    Cancelled {
+        /// Analysis that was interrupted (`"transient"`, `"ac"`, `"solve"`).
+        analysis: &'static str,
+    },
     /// The runtime numerical audit rejected an analysis input or result
     /// (enabled in debug builds and via `VPEC_AUDIT` / `--audit`).
     AuditViolation {
@@ -91,6 +97,9 @@ impl fmt::Display for CircuitError {
                  (recovery retries exhausted)"
             ),
             CircuitError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CircuitError::Cancelled { analysis } => {
+                write!(f, "{analysis} analysis cancelled by deadline")
+            }
             CircuitError::AuditViolation { stage, detail } => {
                 write!(f, "numerical audit rejected the {stage} stage: {detail}")
             }
@@ -111,6 +120,7 @@ impl From<NumericsError> for CircuitError {
     fn from(e: NumericsError) -> Self {
         match e {
             NumericsError::Singular { .. } => CircuitError::SingularSystem { analysis: "solve" },
+            NumericsError::Cancelled { .. } => CircuitError::Cancelled { analysis: "solve" },
             other => CircuitError::Numerics(other),
         }
     }
@@ -140,5 +150,11 @@ mod tests {
         };
         assert!(a.to_string().contains("mna-stamp"));
         assert!(a.to_string().contains("(0, 1)"));
+        let c = CircuitError::Cancelled {
+            analysis: "transient",
+        };
+        assert!(c.to_string().contains("cancelled"));
+        let c: CircuitError = NumericsError::Cancelled { op: "lu factor" }.into();
+        assert!(matches!(c, CircuitError::Cancelled { .. }));
     }
 }

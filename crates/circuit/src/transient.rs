@@ -20,6 +20,7 @@
 
 use crate::dc::solve_dc_opts;
 use crate::diagnostics::{FaultInjection, SolveAudit, TransientDiagnostics};
+use vpec_numerics::cancel::CancelToken;
 use crate::elements::Element;
 use crate::error::CircuitError;
 use crate::mna::{add_source_rhs, assemble, MnaLayout};
@@ -92,6 +93,9 @@ pub struct TransientSpec {
     pub regularize: bool,
     /// Test-only fault injection at pipeline stage boundaries.
     pub faults: FaultInjection,
+    /// Cooperative cancellation, polled once per time step. Disarmed by
+    /// default; the engine's deadline watchdog arms it.
+    pub cancel: CancelToken,
 }
 
 impl TransientSpec {
@@ -105,6 +109,7 @@ impl TransientSpec {
             probes: None,
             regularize: false,
             faults: FaultInjection::none(),
+            cancel: CancelToken::none(),
         }
     }
 
@@ -140,6 +145,13 @@ impl TransientSpec {
     #[must_use]
     pub fn fault_injection(mut self, f: FaultInjection) -> Self {
         self.faults = f;
+        self
+    }
+
+    /// Attaches a cancellation token, polled once per time step.
+    #[must_use]
+    pub fn cancel_token(mut self, t: CancelToken) -> Self {
+        self.cancel = t;
         self
     }
 }
@@ -362,9 +374,20 @@ pub fn run_transient_with_report(
         .map(|(idx, _)| idx)
         .collect();
 
+    // Injected stall: sleep once before the first step — a deterministic
+    // way for tests to trip the engine's wall-clock deadline.
+    if let Some(ms) = spec.faults.stall_ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+
     // Step while more than half a step of simulated time remains — for an
     // un-retried run this reproduces exactly `round(t_stop/dt)` steps.
     while t + 0.5 * dt < spec.t_stop {
+        if spec.cancel.is_cancelled() {
+            return Err(CircuitError::Cancelled {
+                analysis: "transient",
+            });
+        }
         let t_new = t + dt;
         rhs.iter_mut().for_each(|v| *v = 0.0);
 
@@ -782,6 +805,36 @@ mod tests {
             assert!(sa.is_clean(), "unexpected violations: {:?}", sa.violations);
             assert!(sa.residual.expect("residual recorded") < AUDIT_RESIDUAL_TOL);
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_step_loop() {
+        let (c, _) = rc_circuit();
+        let token = CancelToken::new();
+        token.cancel();
+        let spec = TransientSpec::new(1e-7, 1e-9).cancel_token(token);
+        assert!(matches!(
+            run_transient(&c, &spec),
+            Err(CircuitError::Cancelled {
+                analysis: "transient"
+            })
+        ));
+        // A disarmed token changes nothing.
+        let spec = TransientSpec::new(1e-7, 1e-9).cancel_token(CancelToken::none());
+        assert!(run_transient(&c, &spec).is_ok());
+    }
+
+    #[test]
+    fn injected_stall_delays_but_completes() {
+        let (c, out) = rc_circuit();
+        let spec = TransientSpec::new(1e-8, 1e-9).fault_injection(FaultInjection {
+            stall_ms: Some(30),
+            ..FaultInjection::none()
+        });
+        let start = std::time::Instant::now();
+        let res = run_transient(&c, &spec).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(30));
+        assert!(res.voltage(out).unwrap().iter().all(|v| v.is_finite()));
     }
 
     #[test]

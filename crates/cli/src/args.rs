@@ -3,6 +3,7 @@
 use crate::CliError;
 use vpec_circuit::spice_in::parse_value;
 use vpec_core::harness::ModelKind;
+use vpec_engine::EngineConfig;
 use vpec_numerics::audit::AuditLevel;
 
 /// Which subcommand was requested.
@@ -18,6 +19,10 @@ pub enum Command {
     Noise,
     /// `vpec export`
     Export,
+    /// `vpec batch` — run a JSONL scenario file through the engine.
+    Batch,
+    /// `vpec serve` — stream JSONL scenarios stdin → stdout.
+    Serve,
     /// `vpec help`
     Help,
 }
@@ -71,6 +76,11 @@ pub struct ParsedArgs {
     /// Tracing-sink spec (`--trace[=off|summary|jsonl:PATH]`; `None` =
     /// resolve from `VPEC_TRACE`).
     pub trace: Option<String>,
+    /// Input path for `batch` (`--in FILE`).
+    pub input: Option<String>,
+    /// Resilience policy for `batch`/`serve`: deadline, admission
+    /// budgets, retry/backoff, wVPEC degradation.
+    pub engine: EngineConfig,
 }
 
 impl Default for ParsedArgs {
@@ -92,63 +102,30 @@ impl Default for ParsedArgs {
             threads: None,
             audit: None,
             trace: None,
+            input: None,
+            engine: EngineConfig::default(),
         }
     }
 }
 
-/// Parses a model-kind token.
+/// Parses a model-kind token. The grammar lives in [`ModelKind::parse`]
+/// (shared with the batch engine's request schema); this wrapper only
+/// classifies failures as usage errors.
 ///
 /// # Errors
 ///
 /// [`CliError::usage`] for unknown kinds or malformed parameters.
 pub fn parse_kind(tok: &str) -> Result<ModelKind, CliError> {
-    let (name, param) = match tok.split_once(':') {
-        Some((n, p)) => (n, Some(p)),
-        None => (tok, None),
-    };
-    let num = |p: Option<&str>, what: &str| -> Result<f64, CliError> {
-        let p = p.ok_or_else(|| CliError::usage(format!("{name} needs a parameter ({what})")))?;
-        parse_value(p).map_err(CliError::usage)
-    };
-    match name {
-        "peec" => Ok(ModelKind::Peec),
-        "vpec-full" | "full" => Ok(ModelKind::VpecFull),
-        "vpec-localized" | "localized" => Ok(ModelKind::VpecLocalized),
-        "tvpec-g" => {
-            let p = param
-                .ok_or_else(|| CliError::usage("tvpec-g needs a window, e.g. tvpec-g:8,2"))?;
-            let mut it = p.split(',');
-            let nw = it
-                .next()
-                .and_then(|s| s.parse::<usize>().ok())
-                .ok_or_else(|| CliError::usage("tvpec-g window must be integers"))?;
-            let nl = match it.next() {
-                Some(s) => s
-                    .parse::<usize>()
-                    .map_err(|_| CliError::usage("tvpec-g window must be integers"))?,
-                None => 1,
-            };
-            Ok(ModelKind::TVpecGeometric { nw, nl })
-        }
-        "tvpec-n" => Ok(ModelKind::TVpecNumerical {
-            threshold: num(param, "threshold")?,
-        }),
-        "wvpec-g" => {
-            let p = param.ok_or_else(|| CliError::usage("wvpec-g needs a window size"))?;
-            let b = p
-                .parse::<usize>()
-                .map_err(|_| CliError::usage("wvpec-g window must be an integer"))?;
-            Ok(ModelKind::WVpecGeometric { b })
-        }
-        "wvpec-n" => Ok(ModelKind::WVpecNumerical {
-            threshold: num(param, "threshold")?,
-        }),
-        "shift" => Ok(ModelKind::ShiftTruncated {
-            r0: num(param, "shell radius in meters")?,
-        }),
-        other => Err(CliError::usage(format!(
-            "unknown model kind: {other} (see `vpec help`)"
+    ModelKind::parse(tok).map_err(CliError::usage)
+}
+
+/// Parses a strictly positive integer flag value.
+fn positive(flag: &str, tok: &str) -> Result<usize, CliError> {
+    match tok.parse::<usize>() {
+        Ok(0) | Err(_) => Err(CliError::usage(format!(
+            "{flag} must be a positive integer"
         ))),
+        Ok(n) => Ok(n),
     }
 }
 
@@ -169,6 +146,8 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
         "simulate" | "sim" => Command::Simulate,
         "noise" => Command::Noise,
         "export" => Command::Export,
+        "batch" => Command::Batch,
+        "serve" => Command::Serve,
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(CliError::usage(format!("unknown command: {other}"))),
     };
@@ -236,7 +215,49 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 if n == 0 {
                     return Err(CliError::usage("--threads must be at least 1"));
                 }
+                // The pool would silently clamp; reject instead so a typo
+                // like `--threads 100000` is caught where it was made.
+                if n > vpec_numerics::pool::MAX_WORKERS {
+                    return Err(CliError::usage(format!(
+                        "--threads {n} exceeds the worker cap of {} \
+                         (the pool never spawns more)",
+                        vpec_numerics::pool::MAX_WORKERS
+                    )));
+                }
                 out.threads = Some(n);
+            }
+            "--in" => out.input = Some(value("path")?.clone()),
+            "--deadline-ms" => {
+                let ms: u64 = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--deadline-ms must be an integer"))?;
+                // 0 = explicitly unbounded (the engine default).
+                out.engine.deadline_ms = if ms == 0 { None } else { Some(ms) };
+            }
+            "--max-filaments" => {
+                out.engine.budget.max_filaments =
+                    Some(positive(flag, value("filament budget")?)?);
+            }
+            "--max-dim" => {
+                out.engine.budget.max_matrix_dim =
+                    Some(positive(flag, value("matrix-dimension budget")?)?);
+            }
+            "--max-steps" => {
+                out.engine.budget.max_steps = Some(positive(flag, value("step budget")?)?);
+            }
+            "--retries" => {
+                out.engine.retries = value("retry count")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--retries must be an integer"))?;
+            }
+            "--backoff-ms" => {
+                out.engine.backoff_ms = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--backoff-ms must be an integer"))?;
+            }
+            "--no-degrade" => out.engine.degrade = false,
+            "--degrade-window" => {
+                out.engine.degrade_window = positive(flag, value("window size")?)?;
             }
             "-o" | "--output" => out.output = Some(value("path")?.clone()),
             "--audit" => out.audit = Some(AuditLevel::Full),
@@ -350,6 +371,46 @@ mod tests {
         assert_eq!(parse_args(&argv("simulate")).unwrap().threads, None);
         assert!(parse_args(&argv("simulate --threads 0")).is_err());
         assert!(parse_args(&argv("simulate --threads x")).is_err());
+        // Absurd counts are rejected at parse time with the cap named,
+        // not silently clamped deep inside the pool.
+        let cap = vpec_numerics::pool::MAX_WORKERS;
+        let err = parse_args(&argv("simulate --threads 100000")).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains(&cap.to_string()), "{}", err.message);
+        assert_eq!(
+            parse_args(&argv(&format!("simulate --threads {cap}")))
+                .unwrap()
+                .threads,
+            Some(cap)
+        );
+    }
+
+    #[test]
+    fn parses_engine_flags() {
+        let a = parse_args(&argv(
+            "batch --in reqs.jsonl --deadline-ms 250 --max-filaments 64 --max-dim 32 \
+             --max-steps 5000 --retries 3 --backoff-ms 5 --degrade-window 6",
+        ))
+        .unwrap();
+        assert_eq!(a.command, Command::Batch);
+        assert_eq!(a.input.as_deref(), Some("reqs.jsonl"));
+        assert_eq!(a.engine.deadline_ms, Some(250));
+        assert_eq!(a.engine.budget.max_filaments, Some(64));
+        assert_eq!(a.engine.budget.max_matrix_dim, Some(32));
+        assert_eq!(a.engine.budget.max_steps, Some(5000));
+        assert_eq!(a.engine.retries, 3);
+        assert_eq!(a.engine.backoff_ms, 5);
+        assert!(a.engine.degrade);
+        assert_eq!(a.engine.degrade_window, 6);
+
+        let s = parse_args(&argv("serve --no-degrade --deadline-ms 0")).unwrap();
+        assert_eq!(s.command, Command::Serve);
+        assert!(!s.engine.degrade);
+        assert_eq!(s.engine.deadline_ms, None);
+
+        assert!(parse_args(&argv("batch --max-dim 0")).is_err());
+        assert!(parse_args(&argv("batch --degrade-window 0")).is_err());
+        assert!(parse_args(&argv("batch --deadline-ms soon")).is_err());
     }
 
     #[test]

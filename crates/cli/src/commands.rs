@@ -314,6 +314,81 @@ pub fn export(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+fn engine_summary(s: &vpec_engine::StreamSummary) -> String {
+    format!(
+        "batch: {} requests, {} ok ({} degraded), {} failed; cache {} hits / {} misses\n",
+        s.total, s.ok, s.degraded, s.failed, s.cache_hits, s.cache_misses
+    )
+}
+
+/// Runs one JSONL request stream through a fresh engine built from the
+/// parsed resilience flags. Shared by `batch` and `serve`.
+fn run_engine_stream<R: std::io::BufRead, W: std::io::Write>(
+    args: &ParsedArgs,
+    reader: R,
+    writer: &mut W,
+) -> Result<vpec_engine::StreamSummary, CliError> {
+    vpec_engine::Engine::new(args.engine)
+        .run_stream(reader, writer)
+        .map_err(runtime)
+}
+
+/// `vpec batch`: run a JSONL scenario file through the resilient engine.
+///
+/// With `-o`, responses go to the file and the summary to stdout; without,
+/// responses stream to stdout and the summary to stderr, so the stdout
+/// stream stays machine-parseable either way.
+///
+/// # Errors
+///
+/// Usage error if `--in` is missing; runtime errors for I/O failures.
+/// Individual request failures are *responses*, never command errors.
+pub fn batch(args: &ParsedArgs) -> Result<String, CliError> {
+    let input = args
+        .input
+        .as_ref()
+        .ok_or_else(|| CliError::usage("batch needs --in <file> (JSONL scenario requests)"))?;
+    let file =
+        std::fs::File::open(input).map_err(|e| CliError::runtime(format!("{input}: {e}")))?;
+    let reader = std::io::BufReader::new(file);
+    match &args.output {
+        Some(path) => {
+            let out = std::fs::File::create(path)
+                .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            let mut w = std::io::BufWriter::new(out);
+            let summary = run_engine_stream(args, reader, &mut w)?;
+            use std::io::Write as _;
+            w.flush().map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            Ok(format!(
+                "responses written to {path}\n{}",
+                engine_summary(&summary)
+            ))
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            let summary = run_engine_stream(args, reader, &mut w)?;
+            eprint!("{}", engine_summary(&summary));
+            Ok(String::new())
+        }
+    }
+}
+
+/// `vpec serve`: JSONL requests on stdin, JSONL responses on stdout,
+/// summary on stderr when the stream closes.
+///
+/// # Errors
+///
+/// Runtime errors only if the stdio transport itself breaks.
+pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut w = stdout.lock();
+    let summary = run_engine_stream(args, stdin.lock(), &mut w)?;
+    eprint!("{}", engine_summary(&summary));
+    Ok(String::new())
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -328,8 +403,11 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     }
     if let Some(spec) = &args.trace {
         // `reset` rather than `set_mode_spec`: repeated invocations in one
-        // process (tests) must not leak spans across runs.
-        vpec_trace::reset(spec).map_err(CliError::usage)?;
+        // process (tests) must not leak spans across runs. The spec itself
+        // was validated at parse time, so a failure here is a sink-open
+        // failure (e.g. an unwritable jsonl path) — a runtime error, not
+        // a usage error.
+        vpec_trace::reset(spec).map_err(CliError::runtime)?;
     }
     let result = match args.command {
         crate::Command::Extract => extract(args),
@@ -337,6 +415,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         crate::Command::Simulate => simulate(args),
         crate::Command::Noise => noise(args),
         crate::Command::Export => export(args),
+        crate::Command::Batch => batch(args),
+        crate::Command::Serve => serve(args),
         crate::Command::Help => Ok(crate::USAGE.to_string()),
     };
     match (result, vpec_trace::mode()) {
@@ -493,6 +573,63 @@ mod tests {
         // Bad specs are parse-time usage errors.
         assert!(parse_args(&argv("simulate --trace=wat")).is_err());
         assert!(parse_args(&argv("simulate --trace=jsonl")).is_err());
+    }
+
+    #[test]
+    fn unwritable_trace_sink_is_a_runtime_error() {
+        // The spec is syntactically fine, so it survives parsing; opening
+        // the sink fails at run time and must exit 1 (runtime), not 2
+        // (usage) — and must not panic.
+        let args =
+            parse_args(&argv("extract --bits 3 --trace=jsonl:/nonexistent-dir/t.jsonl")).unwrap();
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.code, 1, "sink-open failure is runtime: {}", err.message);
+        assert!(err.message.contains("cannot open trace file"), "{}", err.message);
+        // An empty path never reaches run(): it dies at parse time.
+        let err = parse_args(&argv("extract --trace=jsonl:")).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn batch_runs_a_scenario_file() {
+        let dir = std::env::temp_dir();
+        let input = dir.join("vpec_cli_test_batch.jsonl");
+        let output = dir.join("vpec_cli_test_batch_out.jsonl");
+        std::fs::write(
+            &input,
+            "# comment lines and blanks are skipped\n\n\
+             {\"id\":\"good\",\"bits\":3,\"kind\":\"wvpec-g:2\",\"t_stop\":5e-11}\n\
+             {\"id\":\"boom\",\"bits\":3,\"kind\":\"wvpec-g:2\",\"t_stop\":5e-11,\
+              \"faults\":{\"panic_engine\":true}}\n\
+             not json at all\n",
+        )
+        .unwrap();
+        let line = format!(
+            "batch --in {} --retries 0 -o {}",
+            input.display(),
+            output.display()
+        );
+        let summary = run(&parse_args(&argv(&line)).unwrap()).unwrap();
+        assert!(summary.contains("3 requests"), "{summary}");
+        assert!(summary.contains("1 ok"), "{summary}");
+        assert!(summary.contains("2 failed"), "{summary}");
+        let body = std::fs::read_to_string(&output).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            vpec_trace::json::parse(l).expect("every response line is valid JSON");
+        }
+        assert!(lines[0].contains("\"id\":\"good\"") && lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[1].contains("\"id\":\"boom\"") && lines[1].contains("\"panic\""));
+        assert!(lines[2].contains("\"status\":\"failed\""));
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&output);
+        // Missing --in is a usage error; a missing file is a runtime error.
+        assert_eq!(run_line("batch").unwrap_err().code, 2);
+        assert_eq!(
+            run_line("batch --in /nonexistent-dir/none.jsonl").unwrap_err().code,
+            1
+        );
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //!               [--probe 1,2] [-o wave.csv]
 //! vpec noise    <structure> --kind tvpec-n:0.01 [--threshold 10m]
 //! vpec export   <structure> --kind vpec-full -o deck.sp
+//! vpec batch    --in reqs.jsonl [-o out.jsonl] [--deadline-ms 500]
+//!               [--max-dim 64] [--retries 2] [--no-degrade]
+//! vpec serve    [engine options]   # JSONL stdin -> stdout
 //! ```
 //!
 //! All numeric values accept SPICE magnitude suffixes (`1p`, `0.5n`,
@@ -70,6 +73,8 @@ COMMANDS:
   simulate   run a crosstalk transient; optionally write waveform CSV
   noise      scan far-end noise on every quiet net
   export     write a SPICE deck for the chosen model
+  batch      run a JSONL scenario file through the resilient engine
+  serve      stream JSONL scenarios: stdin -> stdout, one line each way
   help       show this text
 
 STRUCTURE (default: 8-bit bus with the paper's geometry):
@@ -90,7 +95,10 @@ COMMON OPTIONS:
   --threshold V     noise-margin threshold in volts (noise command)
   --threads N       worker threads for the parallel numerics layer
                     (default: VPEC_THREADS env, then hardware count;
-                    results are bit-identical at any thread count)
+                    results are bit-identical at any thread count).
+                    Must be 1..=256 — the pool never spawns more than
+                    256 workers, and out-of-range values are rejected
+                    at parse time rather than silently clamped
   --audit[=LEVEL]   numerical-correctness audits: off | basic | full
                     (bare --audit = full; default: VPEC_AUDIT env, then
                     full in debug builds, off in release builds)
@@ -99,7 +107,31 @@ COMMON OPTIONS:
                     then off). summary appends a span tree with per-phase
                     wall time; jsonl streams open/close/counter events to
                     PATH, one JSON object per line
-  -o FILE           output file (simulate: CSV; export: SPICE deck)
+  -o FILE           output file (simulate: CSV; export: SPICE deck;
+                    batch: JSONL responses — summary then on stdout)
+
+ENGINE OPTIONS (batch / serve):
+  --in FILE         JSONL scenario requests, one object per line
+                    (batch only; serve reads stdin). Blank lines and
+                    # comments are skipped; a malformed line yields a
+                    failed *response*, never a dead batch
+  --deadline-ms N   wall-clock deadline per request (0 = unbounded);
+                    a watchdog cancels the solve cooperatively
+  --max-filaments N admission budget: reject before extraction
+  --max-dim N       admission budget: largest matrix a full-inversion
+                    kind may build (over-budget requests degrade)
+  --max-steps N     admission budget: transient step count
+  --retries N       retries after the first attempt for retryable
+                    failures (default 1), exponential backoff
+  --backoff-ms N    base backoff before the first retry (default 10)
+  --no-degrade      fail over-budget/over-deadline full-inversion
+                    requests instead of re-running them as wVPEC
+  --degrade-window B  window size of the wVPEC fallback (default 4)
+
+  Every request runs inside an isolated boundary: panics, deadline
+  overruns and budget rejections become typed JSONL error responses
+  while the rest of the batch keeps running. Requests that share a
+  geometry share one extraction and one model per kind via a cache.
 
 DIAGNOSTICS:
   model prints a passivity-repair summary for sparsified kinds (tvpec-*,

@@ -29,6 +29,17 @@ pub enum CoreError {
     /// A runtime numerical audit found an invariant violation (see
     /// [`crate::invariants`]).
     AuditFailed(vpec_numerics::audit::AuditFailure),
+    /// A pre-flight budget check rejected the request before any work
+    /// (engine admission control, see `BuildBudget` in the harness).
+    BudgetExceeded {
+        /// Which budget was exceeded (`"filament count"`, `"matrix
+        /// dimension"`, `"step count"`).
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+        /// The requested amount.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -44,6 +55,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Circuit(e) => write!(f, "netlist construction failed: {e}"),
             CoreError::AuditFailed(e) => write!(f, "numerical audit failed: {e}"),
+            CoreError::BudgetExceeded { what, limit, actual } => write!(
+                f,
+                "request exceeds its {what} budget: {actual} > {limit}"
+            ),
         }
     }
 }
@@ -90,5 +105,12 @@ mod tests {
         assert!(e.to_string().contains("window"));
         let e = CoreError::ShapeMismatch { parasitics: 3, layout: 4 };
         assert!(e.to_string().contains('3') && e.to_string().contains('4'));
+        let e = CoreError::BudgetExceeded {
+            what: "filament count",
+            limit: 64,
+            actual: 100,
+        };
+        assert!(e.to_string().contains("filament count"));
+        assert!(e.to_string().contains("100 > 64"));
     }
 }

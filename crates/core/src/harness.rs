@@ -10,11 +10,13 @@ use crate::windowed::{windowed_geometric, windowed_numerical};
 use crate::{CoreError, DriveConfig, VpecModel};
 use std::time::Instant;
 use vpec_circuit::ac::{run_ac, AcSpec};
+use vpec_circuit::spice_in::parse_value;
 use vpec_circuit::spice_out::netlist_size;
 use vpec_circuit::transient::{run_transient, run_transient_with_report};
 use vpec_circuit::{AcResult, SolveAudit, TransientDiagnostics, TransientResult, TransientSpec};
 use vpec_extract::{extract, ExtractionConfig, Parasitics};
 use vpec_geometry::Layout;
+use vpec_numerics::CancelToken;
 
 /// Which interconnect model to build.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +74,152 @@ impl ModelKind {
             ModelKind::ShiftTruncated { r0 } => format!("shift(r0={:.0}um)", r0 * 1e6),
         }
     }
+
+    /// Parses a model-kind token (the CLI's `--kind` grammar and the batch
+    /// engine's `"kind"` request field): `peec`, `vpec-full`/`full`,
+    /// `vpec-localized`/`localized`, `tvpec-g:NW[,NL]`, `tvpec-n:THRESH`,
+    /// `wvpec-g:B`, `wvpec-n:THRESH`, `shift:R0`. Numeric parameters accept
+    /// SPICE suffixes (`10u`, `1.5e-4`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unknown kinds or malformed parameters.
+    pub fn parse(tok: &str) -> Result<ModelKind, String> {
+        let (name, param) = match tok.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (tok, None),
+        };
+        let num = |p: Option<&str>, what: &str| -> Result<f64, String> {
+            let p = p.ok_or_else(|| format!("{name} needs a parameter ({what})"))?;
+            parse_value(p)
+        };
+        match name {
+            "peec" => Ok(ModelKind::Peec),
+            "vpec-full" | "full" => Ok(ModelKind::VpecFull),
+            "vpec-localized" | "localized" => Ok(ModelKind::VpecLocalized),
+            "tvpec-g" => {
+                let p = param
+                    .ok_or_else(|| "tvpec-g needs a window, e.g. tvpec-g:8,2".to_string())?;
+                let mut it = p.split(',');
+                let nw = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| "tvpec-g window must be integers".to_string())?;
+                let nl = match it.next() {
+                    Some(s) => s
+                        .parse::<usize>()
+                        .map_err(|_| "tvpec-g window must be integers".to_string())?,
+                    None => 1,
+                };
+                Ok(ModelKind::TVpecGeometric { nw, nl })
+            }
+            "tvpec-n" => Ok(ModelKind::TVpecNumerical {
+                threshold: num(param, "threshold")?,
+            }),
+            "wvpec-g" => {
+                let p = param.ok_or_else(|| "wvpec-g needs a window size".to_string())?;
+                let b = p
+                    .parse::<usize>()
+                    .map_err(|_| "wvpec-g window must be an integer".to_string())?;
+                Ok(ModelKind::WVpecGeometric { b })
+            }
+            "wvpec-n" => Ok(ModelKind::WVpecNumerical {
+                threshold: num(param, "threshold")?,
+            }),
+            "shift" => Ok(ModelKind::ShiftTruncated {
+                r0: num(param, "shell radius in meters")?,
+            }),
+            other => Err(format!("unknown model kind: {other} (see `vpec help`)")),
+        }
+    }
+
+    /// `true` for kinds whose construction inverts the full N×N inductance
+    /// matrix (O(N³)): full/localized VPEC and both tVPEC truncations. The
+    /// windowed (wVPEC) kinds invert b×b blocks only, and the PEEC family
+    /// never inverts — those stay cheap at any N, which is exactly why the
+    /// batch engine can degrade an over-budget full build to wVPEC.
+    pub fn needs_full_inversion(&self) -> bool {
+        matches!(
+            self,
+            ModelKind::VpecFull
+                | ModelKind::VpecLocalized
+                | ModelKind::TVpecGeometric { .. }
+                | ModelKind::TVpecNumerical { .. }
+        )
+    }
+}
+
+/// Admission-control budgets for one model build, checked by
+/// [`Experiment::check_budget`] *before* any O(N²)/O(N³) work starts.
+/// `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildBudget {
+    /// Maximum filament count in the layout (caps extraction and every
+    /// downstream matrix).
+    pub max_filaments: Option<usize>,
+    /// Maximum dense matrix dimension allowed through a **full inversion**
+    /// ([`ModelKind::needs_full_inversion`]). Windowed and PEEC kinds are
+    /// exempt — exceeding this on a full-inversion kind is the engine's
+    /// "degradable" overrun: the request can be re-run as wVPEC.
+    pub max_matrix_dim: Option<usize>,
+    /// Maximum transient step count (`t_stop / dt`).
+    pub max_steps: Option<usize>,
+}
+
+impl BuildBudget {
+    /// A budget with every limit disabled.
+    pub fn unlimited() -> Self {
+        BuildBudget::default()
+    }
+
+    /// `true` when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        *self == BuildBudget::default()
+    }
+
+    /// Checks a request shape (`n_filaments` geometry, model `kind`,
+    /// planned transient `steps`) against this budget. Callable before
+    /// extraction — the batch engine gates on the raw layout so an
+    /// over-budget request never pays the O(N²) extraction either.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::check_budget`].
+    pub fn check(
+        &self,
+        n_filaments: usize,
+        kind: ModelKind,
+        steps: Option<usize>,
+    ) -> Result<(), CoreError> {
+        if let Some(limit) = self.max_filaments {
+            if n_filaments > limit {
+                return Err(CoreError::BudgetExceeded {
+                    what: "filament count",
+                    limit,
+                    actual: n_filaments,
+                });
+            }
+        }
+        if let Some(limit) = self.max_matrix_dim {
+            if kind.needs_full_inversion() && n_filaments > limit {
+                return Err(CoreError::BudgetExceeded {
+                    what: "matrix dimension",
+                    limit,
+                    actual: n_filaments,
+                });
+            }
+        }
+        if let (Some(limit), Some(actual)) = (self.max_steps, steps) {
+            if actual > limit {
+                return Err(CoreError::BudgetExceeded {
+                    what: "step count",
+                    limit,
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A prepared experiment: layout + extracted parasitics + drive.
@@ -104,6 +252,22 @@ impl Experiment {
     /// [`CoreError::InvalidParameter`] when called with
     /// [`ModelKind::Peec`], or any model-construction failure.
     pub fn vpec_model(&self, kind: ModelKind) -> Result<(VpecModel, f64), CoreError> {
+        self.vpec_model_cancel(kind, &CancelToken::none())
+    }
+
+    /// [`Experiment::vpec_model`] with cooperative cancellation threaded
+    /// through the full-inversion hot path (the O(N³) part of every
+    /// full/localized/truncated build).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::vpec_model`]; a fired token surfaces as
+    /// [`CoreError::BadInductanceMatrix`] wrapping a cancellation.
+    pub fn vpec_model_cancel(
+        &self,
+        kind: ModelKind,
+        cancel: &CancelToken,
+    ) -> Result<(VpecModel, f64), CoreError> {
         let _sp = vpec_trace::span!("model.build", "kind" => kind.label());
         let t0 = Instant::now();
         let model = match kind {
@@ -112,16 +276,16 @@ impl Experiment {
                     reason: "PEEC-family kinds are not VPEC models",
                 })
             }
-            ModelKind::VpecFull => VpecModel::full(&self.parasitics)?,
+            ModelKind::VpecFull => VpecModel::full_cancel(&self.parasitics, cancel)?,
             ModelKind::VpecLocalized => {
-                VpecModel::full(&self.parasitics)?.localized_from_full(&self.layout)
+                VpecModel::full_cancel(&self.parasitics, cancel)?.localized_from_full(&self.layout)
             }
             ModelKind::TVpecGeometric { nw, nl } => {
-                let full = VpecModel::full(&self.parasitics)?;
+                let full = VpecModel::full_cancel(&self.parasitics, cancel)?;
                 truncate_geometric(&full, &self.layout, nw, nl)?
             }
             ModelKind::TVpecNumerical { threshold } => {
-                let full = VpecModel::full(&self.parasitics)?;
+                let full = VpecModel::full_cancel(&self.parasitics, cancel)?;
                 truncate_numerical(&full, threshold)?
             }
             ModelKind::WVpecGeometric { b } => windowed_geometric(&self.parasitics, b)?,
@@ -130,6 +294,26 @@ impl Experiment {
             }
         };
         Ok((model, t0.elapsed().as_secs_f64()))
+    }
+
+    /// Checks one request against its admission budget **before** any
+    /// expensive work. `steps` is the planned transient step count
+    /// (`None` for AC-only requests).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BudgetExceeded`] naming the first violated limit:
+    /// `"filament count"` and `"step count"` overruns are hard rejections;
+    /// a `"matrix dimension"` overrun only fires for full-inversion kinds
+    /// ([`ModelKind::needs_full_inversion`]) and is the case the batch
+    /// engine degrades to a windowed (wVPEC) build instead of failing.
+    pub fn check_budget(
+        &self,
+        kind: ModelKind,
+        steps: Option<usize>,
+        budget: &BuildBudget,
+    ) -> Result<(), CoreError> {
+        budget.check(self.layout.filaments().len(), kind, steps)
     }
 
     /// Builds the netlist for any model kind, with statistics.
@@ -143,6 +327,18 @@ impl Experiment {
     ///
     /// Any model- or netlist-construction failure.
     pub fn build(&self, kind: ModelKind) -> Result<BuiltModel, CoreError> {
+        self.build_cancel(kind, &CancelToken::none())
+    }
+
+    /// [`Experiment::build`] with cooperative cancellation threaded into
+    /// the model-construction hot path. The netlist lowering itself is
+    /// O(nnz) and not polled.
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::build`]; a fired token aborts the build with a
+    /// [`CoreError::BadInductanceMatrix`]-wrapped cancellation.
+    pub fn build_cancel(&self, kind: ModelKind, cancel: &CancelToken) -> Result<BuiltModel, CoreError> {
         let trace_mark = vpec_trace::mark();
         let _sp = vpec_trace::span!("build", "kind" => kind.label());
         let t0 = Instant::now();
@@ -165,7 +361,7 @@ impl Experiment {
                 )
             }
             _ => {
-                let (mut model, _) = self.vpec_model(kind)?;
+                let (mut model, _) = self.vpec_model_cancel(kind, cancel)?;
                 if matches!(
                     kind,
                     ModelKind::TVpecGeometric { .. }
@@ -473,6 +669,120 @@ mod tests {
     fn vpec_model_rejects_peec_kind() {
         let exp = experiment(2);
         assert!(exp.vpec_model(ModelKind::Peec).is_err());
+    }
+
+    #[test]
+    fn parse_matches_cli_grammar() {
+        assert_eq!(ModelKind::parse("peec").unwrap(), ModelKind::Peec);
+        assert_eq!(ModelKind::parse("full").unwrap(), ModelKind::VpecFull);
+        assert_eq!(ModelKind::parse("vpec-full").unwrap(), ModelKind::VpecFull);
+        assert_eq!(
+            ModelKind::parse("localized").unwrap(),
+            ModelKind::VpecLocalized
+        );
+        assert_eq!(
+            ModelKind::parse("tvpec-g:8,2").unwrap(),
+            ModelKind::TVpecGeometric { nw: 8, nl: 2 }
+        );
+        assert_eq!(
+            ModelKind::parse("tvpec-g:16").unwrap(),
+            ModelKind::TVpecGeometric { nw: 16, nl: 1 }
+        );
+        assert!(matches!(
+            ModelKind::parse("tvpec-n:0.01").unwrap(),
+            ModelKind::TVpecNumerical { .. }
+        ));
+        assert_eq!(
+            ModelKind::parse("wvpec-g:8").unwrap(),
+            ModelKind::WVpecGeometric { b: 8 }
+        );
+        assert!(matches!(
+            ModelKind::parse("wvpec-n:1.5e-4").unwrap(),
+            ModelKind::WVpecNumerical { .. }
+        ));
+        assert!(matches!(
+            ModelKind::parse("shift:10u").unwrap(),
+            ModelKind::ShiftTruncated { .. }
+        ));
+        assert!(ModelKind::parse("nope").is_err());
+        assert!(ModelKind::parse("tvpec-g").is_err());
+        assert!(ModelKind::parse("wvpec-g:x").is_err());
+        assert!(ModelKind::parse("tvpec-n").is_err());
+    }
+
+    #[test]
+    fn full_inversion_kinds_flagged() {
+        assert!(ModelKind::VpecFull.needs_full_inversion());
+        assert!(ModelKind::TVpecGeometric { nw: 2, nl: 1 }.needs_full_inversion());
+        assert!(ModelKind::TVpecNumerical { threshold: 0.1 }.needs_full_inversion());
+        assert!(!ModelKind::WVpecGeometric { b: 2 }.needs_full_inversion());
+        assert!(!ModelKind::Peec.needs_full_inversion());
+        assert!(!ModelKind::ShiftTruncated { r0: 1e-5 }.needs_full_inversion());
+    }
+
+    #[test]
+    fn budget_checks_gate_requests() {
+        let exp = experiment(4); // 4 filaments
+        let unlimited = BuildBudget::unlimited();
+        assert!(unlimited.is_unlimited());
+        assert!(exp.check_budget(ModelKind::VpecFull, Some(1000), &unlimited).is_ok());
+
+        let tight = BuildBudget {
+            max_filaments: Some(3),
+            ..BuildBudget::default()
+        };
+        match exp.check_budget(ModelKind::Peec, None, &tight) {
+            Err(CoreError::BudgetExceeded { what, limit, actual }) => {
+                assert_eq!(what, "filament count");
+                assert_eq!((limit, actual), (3, 4));
+            }
+            other => panic!("expected filament budget rejection, got {other:?}"),
+        }
+
+        // Matrix-dim budget bites full-inversion kinds only.
+        let dim = BuildBudget {
+            max_matrix_dim: Some(3),
+            ..BuildBudget::default()
+        };
+        assert!(matches!(
+            exp.check_budget(ModelKind::VpecFull, None, &dim),
+            Err(CoreError::BudgetExceeded { what: "matrix dimension", .. })
+        ));
+        assert!(exp.check_budget(ModelKind::WVpecGeometric { b: 2 }, None, &dim).is_ok());
+        assert!(exp.check_budget(ModelKind::Peec, None, &dim).is_ok());
+
+        let steps = BuildBudget {
+            max_steps: Some(100),
+            ..BuildBudget::default()
+        };
+        assert!(matches!(
+            exp.check_budget(ModelKind::VpecFull, Some(101), &steps),
+            Err(CoreError::BudgetExceeded { what: "step count", .. })
+        ));
+        assert!(exp.check_budget(ModelKind::VpecFull, Some(100), &steps).is_ok());
+        assert!(exp.check_budget(ModelKind::VpecFull, None, &steps).is_ok());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_model_build() {
+        let exp = experiment(4);
+        let token = vpec_numerics::CancelToken::new();
+        token.cancel();
+        let err = exp.build_cancel(ModelKind::VpecFull, &token).unwrap_err();
+        assert!(
+            err.to_string().contains("cancelled"),
+            "expected a cancellation, got: {err}"
+        );
+        // Windowed builds never hit the polled inversion path — they
+        // complete even with a fired token (the engine cancels those via
+        // the transient/AC loop instead).
+        assert!(exp.build_cancel(ModelKind::WVpecGeometric { b: 2 }, &token).is_ok());
+        // A disarmed token builds identically to the plain path.
+        let plain = exp.build(ModelKind::VpecFull).unwrap();
+        let with_none = exp
+            .build_cancel(ModelKind::VpecFull, &vpec_numerics::CancelToken::none())
+            .unwrap();
+        assert_eq!(plain.element_count(), with_none.element_count());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::CoreError;
 use vpec_extract::Parasitics;
 use vpec_geometry::Layout;
-use vpec_numerics::{Cholesky, DenseMatrix, LuFactor};
+use vpec_numerics::{CancelToken, Cholesky, DenseMatrix, LuFactor, NumericsError};
 
 /// A VPEC model: the symmetric circuit matrix `Ĝ` stored sparsely
 /// (diagonal + strictly-lower off-diagonal entries) together with the
@@ -37,6 +37,20 @@ impl VpecModel {
     /// [`CoreError::BadInductanceMatrix`] if `L` is singular, and
     /// [`CoreError::InvalidParameter`] for an empty model.
     pub fn full(parasitics: &Parasitics) -> Result<Self, CoreError> {
+        Self::full_cancel(parasitics, &CancelToken::none())
+    }
+
+    /// [`VpecModel::full`] with cooperative cancellation: the token is
+    /// threaded through both the factorization (polled per elimination
+    /// column) and the inversion (polled per inverse column), so a
+    /// deadline watchdog can abort the O(N³) hot path mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`VpecModel::full`]; a fired token surfaces as
+    /// [`CoreError::BadInductanceMatrix`] wrapping
+    /// [`NumericsError::Cancelled`](vpec_numerics::NumericsError::Cancelled).
+    pub fn full_cancel(parasitics: &Parasitics, cancel: &CancelToken) -> Result<Self, CoreError> {
         let l = &parasitics.inductance;
         let n = l.rows();
         if n == 0 {
@@ -45,14 +59,18 @@ impl VpecModel {
             });
         }
         let mut sp = vpec_trace::span!("model.invert", "dim" => n);
-        let s = match Cholesky::new(l) {
+        let threads = vpec_numerics::pool::max_threads();
+        let s = match Cholesky::with_threads_cancel(l, threads, cancel) {
             Ok(ch) => {
                 sp.set_attr("backend", "cholesky");
-                ch.inverse()?
+                ch.inverse_cancel(cancel)?
             }
+            // A cancelled factorization must not fall through to the LU
+            // retry — that would restart the work the deadline just killed.
+            Err(e @ NumericsError::Cancelled { .. }) => return Err(e.into()),
             Err(_) => {
                 sp.set_attr("backend", "lu");
-                LuFactor::new(l)?.inverse()?
+                LuFactor::with_threads_cancel(l, threads, cancel)?.inverse_cancel(cancel)?
             }
         };
         Ok(Self::from_inverse(&s, &parasitics.lengths))

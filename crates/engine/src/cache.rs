@@ -1,0 +1,169 @@
+//! A two-level model cache keyed by geometry content hash.
+//!
+//! Batch streams routinely repeat the same geometry across model kinds
+//! and analyses (a sweep over kinds, or repeated requests for the same
+//! bus). The cache shares the two expensive stages:
+//!
+//! - **Level 1** — `layout.content_hash()` → extracted [`Experiment`]
+//!   (the O(N²) extraction runs once per distinct geometry);
+//! - **Level 2** — `(hash, kind label)` → built model (the O(N³)
+//!   inversion and netlist lowering run once per distinct
+//!   geometry × kind).
+//!
+//! The runner bypasses the cache entirely for fault-injected requests:
+//! injected faults change behaviour, not geometry, so neither their
+//! results nor their side effects may be shared.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vpec_core::harness::{BuiltModel, Experiment, ModelKind};
+use vpec_core::{CoreError, DriveConfig};
+use vpec_extract::ExtractionConfig;
+use vpec_geometry::Layout;
+use vpec_numerics::CancelToken;
+
+/// The cache. One per [`crate::Engine`]; requests run sequentially, so no
+/// interior locking is needed.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    experiments: HashMap<u64, Arc<Experiment>>,
+    models: HashMap<(u64, String), Arc<BuiltModel>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ModelCache::default()
+    }
+
+    /// Model-level cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Model-level cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct geometries extracted.
+    pub fn experiments_len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Returns the extracted experiment for `layout`, extracting on first
+    /// sight. The boolean is `true` on a cache hit.
+    pub fn experiment_for(
+        &mut self,
+        layout: Layout,
+        config: &ExtractionConfig,
+        drive: DriveConfig,
+    ) -> (u64, Arc<Experiment>, bool) {
+        let hash = layout.content_hash();
+        if let Some(exp) = self.experiments.get(&hash) {
+            return (hash, Arc::clone(exp), true);
+        }
+        let exp = Arc::new(Experiment::new(layout, config, drive));
+        self.experiments.insert(hash, Arc::clone(&exp));
+        (hash, exp, false)
+    }
+
+    /// Returns the built model for `(hash, kind)`, building (with
+    /// cancellation support) on first sight. The boolean is `true` on a
+    /// cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build failures; failed builds are not cached, so a
+    /// later retry re-runs the build.
+    pub fn model_for(
+        &mut self,
+        hash: u64,
+        exp: &Experiment,
+        kind: ModelKind,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<BuiltModel>, bool), CoreError> {
+        let key = (hash, kind.label());
+        if let Some(m) = self.models.get(&key) {
+            self.hits += 1;
+            vpec_trace::counter_add("engine.cache.hit", 1);
+            return Ok((Arc::clone(m), true));
+        }
+        let built = Arc::new(exp.build_cancel(kind, cancel)?);
+        self.misses += 1;
+        vpec_trace::counter_add("engine.cache.miss", 1);
+        self.models.insert(key, Arc::clone(&built));
+        Ok((built, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpec_geometry::BusSpec;
+
+    #[test]
+    fn shares_extraction_and_models_by_geometry() {
+        let mut cache = ModelCache::new();
+        let cfg = ExtractionConfig::paper_default();
+        let token = CancelToken::none();
+
+        let (h1, exp1, hit) = cache.experiment_for(
+            BusSpec::new(4).build(),
+            &cfg,
+            DriveConfig::paper_default(),
+        );
+        assert!(!hit);
+        let (h2, _exp2, hit) = cache.experiment_for(
+            BusSpec::new(4).build(),
+            &cfg,
+            DriveConfig::paper_default(),
+        );
+        assert!(hit, "identical geometry must share one extraction");
+        assert_eq!(h1, h2);
+        assert_eq!(cache.experiments_len(), 1);
+
+        let (h3, _exp3, hit) = cache.experiment_for(
+            BusSpec::new(5).build(),
+            &cfg,
+            DriveConfig::paper_default(),
+        );
+        assert!(!hit && h3 != h1, "different geometry must not collide");
+
+        let kind = ModelKind::WVpecGeometric { b: 2 };
+        let (m1, hit) = cache.model_for(h1, &exp1, kind, &token).unwrap();
+        assert!(!hit);
+        let (m2, hit) = cache.model_for(h1, &exp1, kind, &token).unwrap();
+        assert!(hit, "same geometry + kind must share one build");
+        assert!(Arc::ptr_eq(&m1, &m2));
+        // A different kind over the same geometry is a distinct model.
+        let (_m3, hit) = cache
+            .model_for(h1, &exp1, ModelKind::Peec, &token)
+            .unwrap();
+        assert!(!hit);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let mut cache = ModelCache::new();
+        let (h, exp, _) = cache.experiment_for(
+            BusSpec::new(3).build(),
+            &ExtractionConfig::paper_default(),
+            DriveConfig::paper_default(),
+        );
+        // A fired token fails the full build…
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert!(cache.model_for(h, &exp, ModelKind::VpecFull, &fired).is_err());
+        // …and the next attempt with a live token still runs (no poisoned
+        // cache entry).
+        let (m, hit) = cache
+            .model_for(h, &exp, ModelKind::VpecFull, &CancelToken::none())
+            .unwrap();
+        assert!(!hit);
+        assert!(m.element_count() > 0);
+    }
+}

@@ -1,0 +1,585 @@
+//! The batch runner: request in, response out, nothing escapes.
+//!
+//! [`Engine::run_request`] is the request lifecycle:
+//!
+//! 1. **Admission** — the budget ([`vpec_core::harness::BuildBudget`]) is
+//!    checked against the raw layout before extraction, so an over-budget
+//!    request costs O(N) rather than O(N³).
+//! 2. **Isolation** — the work runs inside
+//!    [`crate::boundary::run_guarded`]: panics become typed errors, the
+//!    deadline watchdog fires a [`CancelToken`] polled throughout the
+//!    numerics/circuit layers.
+//! 3. **Retry** — retryable failures get bounded retries with exponential
+//!    backoff.
+//! 4. **Degradation** — when the terminal failure says "the full build is
+//!    too expensive" (deadline, matrix-dimension budget) and the request
+//!    asked for a full-inversion kind, the engine re-runs it as a
+//!    windowed wVPEC model (provably passive, O(N·b³)) and marks the
+//!    response `degraded: true` instead of failing it.
+//!
+//! [`Engine::run_stream`] maps a JSONL request stream through that
+//! lifecycle, flushing one response line per request so downstream
+//! consumers see progress in real time.
+
+use crate::boundary::run_guarded;
+use crate::cache::ModelCache;
+use crate::request::{AnalysisSpec, ScenarioRequest, ScenarioResponse, StructureSpec};
+use crate::EngineError;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+use vpec_circuit::ac::AcSpec;
+use vpec_circuit::metrics::peak_abs;
+use vpec_circuit::TransientSpec;
+use vpec_core::harness::{BuildBudget, BuiltModel, Experiment, ModelKind};
+use vpec_core::DriveConfig;
+use vpec_extract::ExtractionConfig;
+use vpec_geometry::{BusSpec, Layout, SpiralSpec};
+use vpec_numerics::fault::FaultInjection;
+use vpec_numerics::CancelToken;
+
+/// Engine-wide resilience policy. Per-request `deadline_ms` overrides the
+/// engine default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Default wall-clock deadline per request, milliseconds (`None` =
+    /// unbounded).
+    pub deadline_ms: Option<u64>,
+    /// Admission budget, checked before any heavy work.
+    pub budget: BuildBudget,
+    /// Retries after the first attempt for retryable failures.
+    pub retries: usize,
+    /// Base backoff before retry `k` (doubled each retry), milliseconds.
+    pub backoff_ms: u64,
+    /// Permit the graceful wVPEC fallback for over-budget / over-deadline
+    /// full-inversion requests.
+    pub degrade: bool,
+    /// Window size `b` of the fallback wVPEC model.
+    pub degrade_window: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            deadline_ms: None,
+            budget: BuildBudget::unlimited(),
+            retries: 1,
+            backoff_ms: 10,
+            degrade: true,
+            degrade_window: 4,
+        }
+    }
+}
+
+/// Aggregate counters for one [`Engine::run_stream`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Requests seen (blank/comment lines excluded).
+    pub total: usize,
+    /// Requests answered with `status: "ok"` (including degraded ones).
+    pub ok: usize,
+    /// Requests answered with `status: "failed"`.
+    pub failed: usize,
+    /// Requests marked `degraded: true`.
+    pub degraded: usize,
+    /// Model-cache hits over the whole stream.
+    pub cache_hits: u64,
+    /// Model-cache misses over the whole stream.
+    pub cache_misses: u64,
+}
+
+/// What one successful attempt produced.
+struct AttemptOutput {
+    elements: usize,
+    cache_hit: bool,
+    /// Peak |V| over the probed far ends, volts.
+    peak: Option<f64>,
+    /// The solve itself reported degraded operation.
+    degraded_solve: bool,
+    notes: Vec<String>,
+}
+
+/// Builds the geometry + extraction config + drive for a request
+/// (mirrors the CLI's structure handling).
+fn build_geometry(spec: &StructureSpec) -> (Layout, ExtractionConfig, DriveConfig) {
+    match *spec {
+        StructureSpec::Bus {
+            bits,
+            segments,
+            misalign,
+            shield_every,
+        } => {
+            let mut bus = BusSpec::new(bits).segments(segments).misalignment(misalign);
+            if let Some(k) = shield_every {
+                bus = bus.shield_every(k);
+            }
+            let layout = bus.build();
+            let first_signal = layout.signal_nets().first().copied().unwrap_or(0);
+            (
+                layout,
+                ExtractionConfig::paper_default(),
+                DriveConfig::paper_default().aggressors(vec![first_signal]),
+            )
+        }
+        StructureSpec::Spiral { turns } => {
+            let spec = if turns == 3 {
+                SpiralSpec::paper_three_turn()
+            } else {
+                SpiralSpec::new(turns)
+            };
+            let cfg = match spec.substrate_spec() {
+                Some(sub) => ExtractionConfig::paper_default().with_substrate(sub),
+                None => ExtractionConfig::paper_default(),
+            };
+            (spec.build(), cfg, DriveConfig::paper_default())
+        }
+    }
+}
+
+/// The resilient batch engine: a policy plus a model cache.
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: ModelCache,
+}
+
+impl Engine {
+    /// An engine with the given policy and an empty cache.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            cache: ModelCache::new(),
+        }
+    }
+
+    /// The engine's policy.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The model cache (hit/miss counters for reporting).
+    pub fn cache(&self) -> &ModelCache {
+        &self.cache
+    }
+
+    /// One isolated attempt at `req` with an explicit kind and fault set
+    /// (the degraded fallback re-enters here with a windowed kind and
+    /// faults stripped).
+    fn attempt(
+        &mut self,
+        req: &ScenarioRequest,
+        kind: ModelKind,
+        faults: FaultInjection,
+        deadline_ms: Option<u64>,
+    ) -> Result<AttemptOutput, EngineError> {
+        let token = CancelToken::new();
+        let work_token = token.clone();
+        let budget = self.config.budget;
+        let cache = &mut self.cache;
+        let analysis = req.analysis.clone();
+        let structure = req.structure.clone();
+        run_guarded(deadline_ms, &token, move || {
+            assert!(
+                !faults.panic_engine,
+                "injected engine panic (FaultInjection::panic_engine)"
+            );
+            let (layout, cfg, drive) = build_geometry(&structure);
+            budget
+                .check(layout.filaments().len(), kind, analysis.steps())
+                .map_err(EngineError::from_build)?;
+
+            // Fault-injected requests bypass the cache in both directions:
+            // they must not be answered from it, and their (possibly
+            // half-poisoned) artifacts must not enter it.
+            let (model, cache_hit): (Arc<BuiltModel>, bool) = if faults.is_armed() {
+                let cfg = cfg.with_faults(faults);
+                let exp = Experiment::new(layout, &cfg, drive);
+                let built = exp
+                    .build_cancel(kind, &work_token)
+                    .map_err(EngineError::from_build)?;
+                (Arc::new(built), false)
+            } else {
+                let (hash, exp, _) = cache.experiment_for(layout, &cfg, drive);
+                let (model, hit) = cache
+                    .model_for(hash, &exp, kind, &work_token)
+                    .map_err(EngineError::from_build)?;
+                (model, hit)
+            };
+
+            let analysis_err = |e: vpec_core::CoreError| EngineError::AnalysisFailed {
+                message: e.to_string(),
+            };
+            match analysis {
+                AnalysisSpec::Transient { t_stop, dt } => {
+                    let spec = TransientSpec::new(t_stop, dt)
+                        .fault_injection(faults)
+                        .cancel_token(work_token.clone());
+                    let (res, report, _) =
+                        model.run_transient_with_report(&spec).map_err(analysis_err)?;
+                    let mut peak: f64 = 0.0;
+                    for k in 0..model.model.far_nodes.len() {
+                        let w = model.far_voltage(&res, k).map_err(analysis_err)?;
+                        peak = peak.max(peak_abs(&w));
+                    }
+                    Ok(AttemptOutput {
+                        elements: model.element_count(),
+                        cache_hit,
+                        peak: Some(peak),
+                        degraded_solve: report.degraded(),
+                        notes: report.lines(),
+                    })
+                }
+                AnalysisSpec::Ac {
+                    f_start,
+                    f_stop,
+                    points_per_decade,
+                } => {
+                    let spec = AcSpec::log_sweep(f_start, f_stop, points_per_decade)
+                        .map_err(|e| EngineError::AnalysisFailed {
+                            message: e.to_string(),
+                        })?
+                        .cancel_token(work_token.clone());
+                    let (res, _) = model.run_ac(&spec).map_err(analysis_err)?;
+                    let mut peak: f64 = 0.0;
+                    for &node in &model.model.far_nodes {
+                        let mag = res.magnitude(node).map_err(|e| EngineError::AnalysisFailed {
+                            message: e.to_string(),
+                        })?;
+                        peak = mag.iter().fold(peak, |a, &m| a.max(m));
+                    }
+                    Ok(AttemptOutput {
+                        elements: model.element_count(),
+                        cache_hit,
+                        peak: Some(peak),
+                        degraded_solve: false,
+                        notes: Vec::new(),
+                    })
+                }
+                AnalysisSpec::BuildOnly => Ok(AttemptOutput {
+                    elements: model.element_count(),
+                    cache_hit,
+                    peak: None,
+                    degraded_solve: model.repair.as_ref().is_some_and(|r| r.repaired()),
+                    notes: Vec::new(),
+                }),
+            }
+        })
+    }
+
+    /// Runs one request through the full resilience lifecycle. Never
+    /// panics and never blocks past the deadline (plus one unit of
+    /// cooperative work): every outcome is a [`ScenarioResponse`].
+    pub fn run_request(&mut self, req: &ScenarioRequest) -> ScenarioResponse {
+        let _sp = vpec_trace::span!("engine.request", "id" => req.id.clone());
+        let t0 = Instant::now();
+        let deadline = req.deadline_ms.or(self.config.deadline_ms);
+        let requested = req.kind.label();
+
+        let mut attempts = 0;
+        let terminal = loop {
+            attempts += 1;
+            match self.attempt(req, req.kind, req.faults, deadline) {
+                Ok(out) => {
+                    return ScenarioResponse {
+                        id: req.id.clone(),
+                        ok: true,
+                        requested: requested.clone(),
+                        ran: Some(requested),
+                        degraded: out.degraded_solve,
+                        degraded_reason: None,
+                        attempts,
+                        cache_hit: out.cache_hit,
+                        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        elements: Some(out.elements),
+                        peak_mv: out.peak.map(|p| p * 1e3),
+                        notes: out.notes,
+                        error: None,
+                    }
+                }
+                Err(e) => {
+                    if e.retryable() && attempts <= self.config.retries {
+                        vpec_trace::counter_add("engine.retry", 1);
+                        let backoff = self.config.backoff_ms << (attempts - 1).min(6);
+                        std::thread::sleep(std::time::Duration::from_millis(backoff));
+                        continue;
+                    }
+                    break e;
+                }
+            }
+        };
+
+        // Graceful degradation: answer "too expensive" with the windowed
+        // model instead of a failure. Faults are stripped — the fallback
+        // exists to produce a usable answer, not to re-run the fault.
+        if self.config.degrade && terminal.degradable() && req.kind.needs_full_inversion() {
+            let b = self.config.degrade_window.max(1);
+            let wkind = ModelKind::WVpecGeometric { b };
+            vpec_trace::counter_add("engine.degraded", 1);
+            match self.attempt(req, wkind, FaultInjection::none(), deadline) {
+                Ok(out) => {
+                    let mut notes = out.notes;
+                    notes.push(format!(
+                        "degraded to {} after: {terminal}",
+                        wkind.label()
+                    ));
+                    return ScenarioResponse {
+                        id: req.id.clone(),
+                        ok: true,
+                        requested,
+                        ran: Some(wkind.label()),
+                        degraded: true,
+                        degraded_reason: Some(terminal.category().to_string()),
+                        attempts,
+                        cache_hit: out.cache_hit,
+                        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        elements: Some(out.elements),
+                        peak_mv: out.peak.map(|p| p * 1e3),
+                        notes,
+                        error: None,
+                    };
+                }
+                Err(fallback_err) => {
+                    return ScenarioResponse {
+                        id: req.id.clone(),
+                        ok: false,
+                        requested,
+                        ran: None,
+                        degraded: false,
+                        degraded_reason: None,
+                        attempts,
+                        cache_hit: false,
+                        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        elements: None,
+                        peak_mv: None,
+                        notes: vec![format!("degraded fallback also failed: {fallback_err}")],
+                        error: Some(terminal),
+                    }
+                }
+            }
+        }
+
+        ScenarioResponse {
+            id: req.id.clone(),
+            ok: false,
+            requested,
+            ran: None,
+            degraded: false,
+            degraded_reason: None,
+            attempts,
+            cache_hit: false,
+            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+            elements: None,
+            peak_mv: None,
+            notes: Vec::new(),
+            error: Some(terminal),
+        }
+    }
+
+    /// Streams JSONL requests from `reader` to JSONL responses on
+    /// `writer`, one line per request, flushed per line. Unparseable
+    /// lines produce `failed` responses; blank lines and `#` comments are
+    /// skipped; the stream itself never aborts a batch.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] only — a request can fail, the stream cannot,
+    /// short of the transport itself breaking.
+    pub fn run_stream<R: BufRead, W: Write>(
+        &mut self,
+        reader: R,
+        writer: &mut W,
+    ) -> Result<StreamSummary, EngineError> {
+        let io_err = |e: std::io::Error| EngineError::Io {
+            message: e.to_string(),
+        };
+        let mut summary = StreamSummary::default();
+        for (index, line) in reader.lines().enumerate() {
+            let line = line.map_err(io_err)?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let response = match ScenarioRequest::parse_line(trimmed, index) {
+                Ok(req) => self.run_request(&req),
+                Err(e) => ScenarioResponse {
+                    id: format!("line{}", index + 1),
+                    ok: false,
+                    requested: String::new(),
+                    ran: None,
+                    degraded: false,
+                    degraded_reason: None,
+                    attempts: 0,
+                    cache_hit: false,
+                    elapsed_ms: 0.0,
+                    elements: None,
+                    peak_mv: None,
+                    notes: Vec::new(),
+                    error: Some(e),
+                },
+            };
+            summary.total += 1;
+            if response.ok {
+                summary.ok += 1;
+            } else {
+                summary.failed += 1;
+            }
+            if response.degraded {
+                summary.degraded += 1;
+            }
+            writeln!(writer, "{}", response.to_json_line()).map_err(io_err)?;
+            writer.flush().map_err(io_err)?;
+        }
+        summary.cache_hits = self.cache.hits();
+        summary.cache_misses = self.cache.misses();
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(line: &str) -> ScenarioRequest {
+        ScenarioRequest::parse_line(line, 0).unwrap()
+    }
+
+    #[test]
+    fn happy_path_reuses_cache() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let r = req(r#"{"id":"a","bits":3,"kind":"wvpec-g:2","t_stop":5e-11}"#);
+        let first = engine.run_request(&r);
+        assert!(first.ok, "{:?}", first.error);
+        assert!(!first.cache_hit);
+        assert!(first.elements.unwrap() > 0);
+        assert!(first.peak_mv.unwrap() > 0.0);
+        let second = engine.run_request(&r);
+        assert!(second.ok && second.cache_hit);
+        assert_eq!(engine.cache().hits(), 1);
+    }
+
+    #[test]
+    fn panicking_request_is_contained() {
+        let mut engine = Engine::new(EngineConfig {
+            retries: 2,
+            backoff_ms: 1,
+            ..EngineConfig::default()
+        });
+        let boom = req(r#"{"id":"boom","bits":2,"faults":{"panic_extraction":true}}"#);
+        let resp = engine.run_request(&boom);
+        assert!(!resp.ok);
+        assert_eq!(resp.attempts, 3, "panic retries its full bounded budget");
+        match &resp.error {
+            Some(EngineError::RequestPanicked { message }) => {
+                assert!(message.contains("injected extraction panic"), "{message}");
+            }
+            other => panic!("expected RequestPanicked, got {other:?}"),
+        }
+        // The engine survives: the next request runs normally.
+        let ok = engine.run_request(&req(r#"{"id":"next","bits":2,"kind":"peec","t_stop":5e-11}"#));
+        assert!(ok.ok, "{:?}", ok.error);
+    }
+
+    #[test]
+    fn budget_rejection_degrades_full_kinds() {
+        let mut engine = Engine::new(EngineConfig {
+            budget: BuildBudget {
+                max_matrix_dim: Some(4),
+                ..BuildBudget::default()
+            },
+            degrade_window: 2,
+            ..EngineConfig::default()
+        });
+        // 8 filaments > max dim 4, full inversion kind → degraded wVPEC.
+        let r = req(r#"{"id":"big","bits":8,"kind":"vpec-full","t_stop":5e-11}"#);
+        let resp = engine.run_request(&r);
+        assert!(resp.ok, "{:?}", resp.error);
+        assert!(resp.degraded);
+        assert_eq!(resp.degraded_reason.as_deref(), Some("budget"));
+        assert_eq!(resp.ran.as_deref(), Some("gwVPEC(b=2)"));
+        assert_eq!(resp.requested, "full VPEC");
+        assert!(resp.notes.iter().any(|n| n.contains("degraded to")));
+    }
+
+    #[test]
+    fn budget_rejection_is_hard_for_windowed_kinds() {
+        let mut engine = Engine::new(EngineConfig {
+            budget: BuildBudget {
+                max_filaments: Some(4),
+                ..BuildBudget::default()
+            },
+            ..EngineConfig::default()
+        });
+        // Filament budget is a hard rejection even with degrade on.
+        let r = req(r#"{"id":"big","bits":8,"kind":"wvpec-g:2"}"#);
+        let resp = engine.run_request(&r);
+        assert!(!resp.ok);
+        assert!(matches!(
+            resp.error,
+            Some(EngineError::BudgetExceeded { what: "filament count", .. })
+        ));
+    }
+
+    #[test]
+    fn no_degrade_flag_fails_hard() {
+        let mut engine = Engine::new(EngineConfig {
+            budget: BuildBudget {
+                max_matrix_dim: Some(2),
+                ..BuildBudget::default()
+            },
+            degrade: false,
+            ..EngineConfig::default()
+        });
+        let r = req(r#"{"id":"x","bits":4,"kind":"vpec-full"}"#);
+        let resp = engine.run_request(&r);
+        assert!(!resp.ok);
+        assert!(matches!(resp.error, Some(EngineError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn stalled_request_hits_deadline_and_degrades() {
+        let mut engine = Engine::new(EngineConfig {
+            deadline_ms: Some(60),
+            degrade_window: 2,
+            ..EngineConfig::default()
+        });
+        // The stall burns the deadline before the transient starts; the
+        // cancel token aborts the step loop; the fallback (faults
+        // stripped) answers.
+        let r = req(
+            r#"{"id":"slow","bits":3,"kind":"vpec-full","t_stop":1e-10,"faults":{"stall_ms":500}}"#,
+        );
+        let t0 = Instant::now();
+        let resp = engine.run_request(&r);
+        assert!(resp.ok, "{:?}", resp.error);
+        assert!(resp.degraded);
+        assert_eq!(resp.degraded_reason.as_deref(), Some("deadline"));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "deadline must bound the request"
+        );
+    }
+
+    #[test]
+    fn stream_isolates_bad_lines() {
+        let mut engine = Engine::new(EngineConfig {
+            retries: 0,
+            ..EngineConfig::default()
+        });
+        let input = "\n# comment\n{\"id\":\"good\",\"bits\":2,\"kind\":\"peec\",\"t_stop\":5e-11}\nnot json\n{\"id\":\"bad-kind\",\"kind\":\"nope\"}\n";
+        let mut out = Vec::new();
+        let summary = engine
+            .run_stream(std::io::Cursor::new(input), &mut out)
+            .unwrap();
+        assert_eq!(summary.total, 3);
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.failed, 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = vpec_trace::json::parse(line).expect("every response line is valid JSON");
+            assert!(v.get("status").is_some());
+        }
+        assert!(lines[1].contains("bad-request"));
+    }
+}

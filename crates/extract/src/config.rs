@@ -1,6 +1,7 @@
 //! Extraction configuration.
 
 use vpec_geometry::{um, SubstrateSpec, GHZ};
+use vpec_numerics::fault::FaultInjection;
 
 /// Material, dielectric and frequency settings for extraction.
 ///
@@ -28,6 +29,9 @@ pub struct ExtractionConfig {
     /// Lossy substrate below the conductors, if any; its eddy-current loss
     /// is lumped into the segment series resistance.
     pub substrate: Option<SubstrateSpec>,
+    /// Test-only fault injection; `panic_extraction` fires inside
+    /// [`crate::extract`] so the engine's panic boundary is testable.
+    pub faults: FaultInjection,
 }
 
 impl ExtractionConfig {
@@ -44,6 +48,7 @@ impl ExtractionConfig {
             skin_effect: false,
             cap_coupling_range: um(4.0),
             substrate: None,
+            faults: FaultInjection::none(),
         }
     }
 
@@ -58,6 +63,13 @@ impl ExtractionConfig {
     #[must_use]
     pub fn with_skin_effect(mut self) -> Self {
         self.skin_effect = true;
+        self
+    }
+
+    /// Arms fault injection (tests and the engine's request schema).
+    #[must_use]
+    pub fn with_faults(mut self, f: FaultInjection) -> Self {
+        self.faults = f;
         self
     }
 }

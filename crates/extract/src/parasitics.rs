@@ -65,6 +65,12 @@ impl Parasitics {
 /// resistance with optional skin correction, and lossy-substrate eddy loss
 /// lumped into the series resistance when a substrate is configured.
 pub fn extract(layout: &Layout, config: &ExtractionConfig) -> Parasitics {
+    // Injected fault: a deliberate panic at the earliest pipeline stage,
+    // isolated by the engine's catch_unwind request boundary in tests.
+    assert!(
+        !config.faults.panic_extraction,
+        "injected extraction panic (FaultInjection::panic_extraction)"
+    );
     let fils = layout.filaments();
     let n = fils.len();
 

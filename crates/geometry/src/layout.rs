@@ -76,6 +76,44 @@ impl Layout {
         &self.nets
     }
 
+    /// A stable FNV-1a content hash of the full geometry: every filament's
+    /// exact coordinates (bit patterns, so `-0.0 ≠ 0.0` but identical
+    /// geometry always collides) plus net names, kinds, and chain order.
+    ///
+    /// The batch engine keys its model cache on this: two requests whose
+    /// layouts hash equal share one extraction and one built model.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.filaments.len() as u64).to_le_bytes());
+        for f in &self.filaments {
+            for v in f.origin {
+                eat(&v.to_bits().to_le_bytes());
+            }
+            eat(&[f.axis.index() as u8]);
+            eat(&f.length.to_bits().to_le_bytes());
+            eat(&f.width.to_bits().to_le_bytes());
+            eat(&f.thickness.to_bits().to_le_bytes());
+            eat(&f.direction.to_bits().to_le_bytes());
+        }
+        eat(&(self.nets.len() as u64).to_le_bytes());
+        for n in &self.nets {
+            eat(n.name.as_bytes());
+            eat(&[matches!(n.kind, NetKind::Ground) as u8]);
+            for &fi in &n.filaments {
+                eat(&(fi as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Adds a signal net made of the given chain of filaments and returns
     /// its id.
     ///
@@ -175,6 +213,25 @@ mod tests {
         let mut bad = seg(0.0);
         bad.length = -1.0;
         Layout::new().push_net("x", vec![bad]);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        let build = |x: f64, name: &str| {
+            let mut l = Layout::new();
+            l.push_net(name, vec![seg(x), seg(x + um(10.0))]);
+            l
+        };
+        assert_eq!(
+            build(0.0, "a").content_hash(),
+            build(0.0, "a").content_hash(),
+            "identical geometry must hash equal"
+        );
+        assert_ne!(build(0.0, "a").content_hash(), build(um(1.0), "a").content_hash());
+        assert_ne!(build(0.0, "a").content_hash(), build(0.0, "b").content_hash());
+        let mut ground = Layout::new();
+        ground.push_net_with_kind("a", vec![seg(0.0), seg(um(10.0))], NetKind::Ground);
+        assert_ne!(build(0.0, "a").content_hash(), ground.content_hash());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!   Cholesky factorization succeeds, which is exactly how the passivity
 //!   checker certifies Theorem 1 (`Ĝ` positive definite) on concrete models.
 
+use crate::cancel::CancelToken;
 use crate::pool::{self, Pool};
 use crate::{DenseMatrix, NumericsError};
 
@@ -62,6 +63,22 @@ impl Cholesky {
     ///
     /// Same as [`Cholesky::new`].
     pub fn with_threads(a: &DenseMatrix<f64>, threads: usize) -> Result<Self, NumericsError> {
+        Self::with_threads_cancel(a, threads, &CancelToken::none())
+    }
+
+    /// [`Cholesky::with_threads`] with cooperative cancellation: the token
+    /// is polled once per elimination column and a set token aborts with
+    /// [`NumericsError::Cancelled`]. This is the engine's deadline hook
+    /// into the `O(N³)` factor phase.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cholesky::new`], plus [`NumericsError::Cancelled`].
+    pub fn with_threads_cancel(
+        a: &DenseMatrix<f64>,
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<Self, NumericsError> {
         if !a.is_square() {
             return Err(NumericsError::NotSquare {
                 found: (a.rows(), a.cols()),
@@ -74,7 +91,7 @@ impl Cholesky {
             "mode" => if pool::elim_parallel(n, threads) { "striped" } else { "serial" },
         );
         let mut g = DenseMatrix::<f64>::zeros(n, n);
-        pool::cholesky_eliminate(a.as_slice(), g.as_mut_slice(), n, threads)?;
+        pool::cholesky_eliminate_cancel(a.as_slice(), g.as_mut_slice(), n, threads, cancel)?;
         Ok(Cholesky { g })
     }
 
@@ -135,10 +152,25 @@ impl Cholesky {
     /// Cannot fail for a successfully constructed factorization; the
     /// `Result` mirrors [`Cholesky::solve`].
     pub fn inverse(&self) -> Result<DenseMatrix<f64>, NumericsError> {
+        self.inverse_cancel(&CancelToken::none())
+    }
+
+    /// [`Cholesky::inverse`] with cooperative cancellation: the token is
+    /// polled once per inverse column and a set token aborts with
+    /// [`NumericsError::Cancelled`] — the deadline hook into the
+    /// `S = L⁻¹` hot path of the full VPEC extraction.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Cancelled`] when the token fires; otherwise cannot
+    /// fail for a successfully constructed factorization.
+    pub fn inverse_cancel(&self, cancel: &CancelToken) -> Result<DenseMatrix<f64>, NumericsError> {
         let n = self.dim();
         // Columns of the inverse are independent unit-vector solves — the
         // `S = L⁻¹` hot path of the full VPEC extraction. par_map_index is
         // order-preserving, so the result matches the serial loop exactly.
+        // A cancelled column returns empty and the flag is re-checked
+        // below, so late cancellation skips the remaining O(n²) solves.
         let nt = pool::threads_for(n, INVERSE_MIN_COLS_PER_THREAD);
         let _sp = vpec_trace::span!(
             "cholesky.inverse",
@@ -147,10 +179,18 @@ impl Cholesky {
             "workers" => nt,
         );
         let cols = Pool::with_threads(nt).par_map_index(n, |j| {
+            if cancel.is_cancelled() {
+                return Vec::new();
+            }
             let mut e = vec![0.0; n];
             e[j] = 1.0;
             self.solve(&e).expect("unit vector has factored dimension")
         });
+        if cancel.is_cancelled() {
+            return Err(NumericsError::Cancelled {
+                op: "cholesky inverse",
+            });
+        }
         let mut inv = DenseMatrix::zeros(n, n);
         for (j, col) in cols.iter().enumerate() {
             for (i, v) in col.iter().enumerate() {
@@ -258,5 +298,23 @@ mod tests {
     fn solve_rejects_wrong_length() {
         let ch = Cholesky::new(&DenseMatrix::identity(3)).unwrap();
         assert!(ch.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_factor_and_inverse() {
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(
+            Cholesky::with_threads_cancel(&spd3(), 1, &t),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        let ch = Cholesky::new(&spd3()).unwrap();
+        assert!(matches!(
+            ch.inverse_cancel(&t),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        // A disarmed token changes nothing.
+        let inv = ch.inverse_cancel(&CancelToken::none()).unwrap();
+        assert_eq!(inv, ch.inverse().unwrap());
     }
 }

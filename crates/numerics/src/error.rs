@@ -49,6 +49,12 @@ pub enum NumericsError {
         /// The offending `(row, col)` index (vectors use column 0).
         index: (usize, usize),
     },
+    /// The operation observed its [`crate::cancel::CancelToken`] set and
+    /// stopped cooperatively (deadline enforcement, not a numeric failure).
+    Cancelled {
+        /// The kernel that was interrupted.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -79,6 +85,7 @@ impl fmt::Display for NumericsError {
                 "non-finite value in {op} at ({}, {})",
                 index.0, index.1
             ),
+            NumericsError::Cancelled { op } => write!(f, "{op} cancelled by deadline"),
         }
     }
 }
@@ -116,6 +123,9 @@ mod tests {
         };
         assert!(e.to_string().contains("non-finite"));
         assert!(e.to_string().contains("(1, 2)"));
+        let e = NumericsError::Cancelled { op: "lu factor" };
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.to_string().contains("lu factor"));
     }
 
     #[test]

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cancel;
 mod cholesky;
 mod complex;
 mod dense;
 pub mod eigen;
 mod error;
+pub mod fault;
 mod lu;
 pub mod ordering;
 pub mod pool;
@@ -52,10 +54,12 @@ mod sparse;
 mod sparse_lu;
 mod vector;
 
+pub use cancel::CancelToken;
 pub use cholesky::Cholesky;
 pub use complex::Complex64;
 pub use dense::DenseMatrix;
 pub use error::NumericsError;
+pub use fault::FaultInjection;
 pub use lu::LuFactor;
 pub use pool::Pool;
 pub use probe::{condition_estimate, solve_regularized, spd_probe, SpdProbe};

@@ -5,6 +5,7 @@
 //! matrix"); this factorization is the `O(N³)` workhorse whose cost the
 //! windowed wVPEC extraction is designed to avoid.
 
+use crate::cancel::CancelToken;
 use crate::pool::{self, Pool};
 use crate::{DenseMatrix, NumericsError, Scalar};
 
@@ -69,6 +70,22 @@ impl<T: Scalar> LuFactor<T> {
     ///
     /// Same as [`LuFactor::new`].
     pub fn with_threads(a: &DenseMatrix<T>, threads: usize) -> Result<Self, NumericsError> {
+        Self::with_threads_cancel(a, threads, &CancelToken::none())
+    }
+
+    /// [`LuFactor::with_threads`] with cooperative cancellation: the token
+    /// is polled once per elimination column and a set token aborts with
+    /// [`NumericsError::Cancelled`]. This is the engine's deadline hook
+    /// into the `O(N³)` factor phase.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LuFactor::new`], plus [`NumericsError::Cancelled`].
+    pub fn with_threads_cancel(
+        a: &DenseMatrix<T>,
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<Self, NumericsError> {
         if !a.is_square() {
             return Err(NumericsError::NotSquare {
                 found: (a.rows(), a.cols()),
@@ -81,7 +98,7 @@ impl<T: Scalar> LuFactor<T> {
             "mode" => if pool::elim_parallel(n, threads) { "striped" } else { "serial" },
         );
         let mut lu = a.clone();
-        let (perm, perm_sign) = pool::lu_eliminate(lu.as_mut_slice(), n, threads)?;
+        let (perm, perm_sign) = pool::lu_eliminate_cancel(lu.as_mut_slice(), n, threads, cancel)?;
         Ok(LuFactor { lu, perm, perm_sign })
     }
 
@@ -198,6 +215,47 @@ impl<T: Scalar> LuFactor<T> {
     /// matrix of matching dimension).
     pub fn inverse(&self) -> Result<DenseMatrix<T>, NumericsError> {
         self.solve_matrix(&DenseMatrix::identity(self.dim()))
+    }
+
+    /// [`LuFactor::inverse`] with cooperative cancellation: the token is
+    /// polled once per inverse column and a set token aborts with
+    /// [`NumericsError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::Cancelled`] when the token fires; otherwise same
+    /// as [`LuFactor::inverse`].
+    pub fn inverse_cancel(&self, cancel: &CancelToken) -> Result<DenseMatrix<T>, NumericsError> {
+        let n = self.dim();
+        let b = DenseMatrix::<T>::identity(n);
+        // Mirrors solve_matrix, with a per-column poll: a cancelled column
+        // returns empty and the flag is re-checked below, so late
+        // cancellation skips the remaining O(n²) substitutions.
+        let nt = pool::threads_for(n, SOLVE_MIN_COLS_PER_THREAD);
+        let _sp = vpec_trace::span!(
+            "lu.solve_matrix",
+            "cols" => n,
+            "mode" => if nt > 1 { "parallel" } else { "serial" },
+            "workers" => nt,
+        );
+        let cols = Pool::with_threads(nt).par_map_index(n, |j| {
+            if cancel.is_cancelled() {
+                return Vec::new();
+            }
+            let mut x: Vec<T> = self.perm.iter().map(|&p| b[(p, j)]).collect();
+            self.substitute_in_place(&mut x);
+            x
+        });
+        if cancel.is_cancelled() {
+            return Err(NumericsError::Cancelled { op: "lu inverse" });
+        }
+        let mut out = DenseMatrix::zeros(n, n);
+        for (j, x) in cols.iter().enumerate() {
+            for (i, v) in x.iter().enumerate() {
+                out[(i, j)] = *v;
+            }
+        }
+        Ok(out)
     }
 
     /// Determinant of `A` (product of U's diagonal times permutation sign).
@@ -319,6 +377,25 @@ mod tests {
         let a = DenseMatrix::<f64>::identity(2);
         let lu = LuFactor::new(&a).unwrap();
         assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_factor_and_inverse() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(matches!(
+            LuFactor::with_threads_cancel(&a, 1, &t),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        let lu = LuFactor::new(&a).unwrap();
+        assert!(matches!(
+            lu.inverse_cancel(&t),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        // A disarmed token reproduces the plain inverse exactly.
+        let inv = lu.inverse_cancel(&CancelToken::none()).unwrap();
+        assert_eq!(inv.as_slice(), lu.inverse().unwrap().as_slice());
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! with the protocol documented at the definition site; nothing outside
 //! this module can reach it.
 
+use crate::cancel::CancelToken;
 use crate::{NumericsError, Scalar};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, OnceLock};
@@ -63,7 +64,9 @@ pub fn elim_parallel(n: usize, threads: usize) -> bool {
 
 /// Upper bound on the worker count — far above any sane machine, it only
 /// guards against `VPEC_THREADS=1000000` exhausting process resources.
-const MAX_WORKERS: usize = 256;
+/// Public so the CLI can reject `--threads` values above it at parse time
+/// with a clear message instead of clamping silently here.
+pub const MAX_WORKERS: usize = 256;
 
 /// Sets a process-wide worker-count override (the CLI `--threads` flag).
 ///
@@ -329,16 +332,37 @@ pub fn lu_eliminate<T: Scalar>(
     n: usize,
     threads: usize,
 ) -> Result<(Vec<usize>, f64), NumericsError> {
+    lu_eliminate_cancel(data, n, threads, &CancelToken::none())
+}
+
+/// [`lu_eliminate`] with cooperative cancellation: the token is polled
+/// once per elimination column (serial and striped paths alike) and a set
+/// token aborts with [`NumericsError::Cancelled`], leaving `data` in an
+/// unspecified partially-eliminated state.
+///
+/// # Errors
+///
+/// Same as [`lu_eliminate`], plus [`NumericsError::Cancelled`].
+///
+/// # Panics
+///
+/// Panics if `data.len() != n * n`.
+pub fn lu_eliminate_cancel<T: Scalar>(
+    data: &mut [T],
+    n: usize,
+    threads: usize,
+    cancel: &CancelToken,
+) -> Result<(Vec<usize>, f64), NumericsError> {
     assert_eq!(data.len(), n * n, "lu_eliminate: shape mismatch");
     // The striped path needs enough trailing rows per column to amortize
     // barrier traffic; below [`ELIM_PAR_MIN_DIM`] the serial loop wins
     // outright (see the measurements cited at the constant).
     if !elim_parallel(n, threads) {
         vpec_trace::counter_add("pool.elim.serial", 1);
-        return lu_eliminate_serial(data, n);
+        return lu_eliminate_serial(data, n, cancel);
     }
     vpec_trace::counter_add("pool.elim.striped", 1);
-    lu_eliminate_striped(data, n, threads.min(MAX_WORKERS))
+    lu_eliminate_striped(data, n, threads.min(MAX_WORKERS), cancel)
 }
 
 /// One trailing-row update of the right-looking LU: computes and stores
@@ -359,10 +383,14 @@ fn lu_update_row<T: Scalar>(row: &mut [T], urow: &[T], k: usize, pivot: T) {
 fn lu_eliminate_serial<T: Scalar>(
     data: &mut [T],
     n: usize,
+    cancel: &CancelToken,
 ) -> Result<(Vec<usize>, f64), NumericsError> {
     let mut perm: Vec<usize> = (0..n).collect();
     let mut perm_sign = 1.0f64;
     for k in 0..n {
+        if cancel.is_cancelled() {
+            return Err(NumericsError::Cancelled { op: "lu factor" });
+        }
         // Partial pivoting: largest modulus in column k at or below row k.
         let mut pivot_row = k;
         let mut pivot_mag = data[k * n + k].modulus();
@@ -411,14 +439,36 @@ pub fn cholesky_eliminate(
     n: usize,
     threads: usize,
 ) -> Result<(), NumericsError> {
+    cholesky_eliminate_cancel(a, g, n, threads, &CancelToken::none())
+}
+
+/// [`cholesky_eliminate`] with cooperative cancellation: the token is
+/// polled once per elimination column (serial and striped paths alike)
+/// and a set token aborts with [`NumericsError::Cancelled`], leaving `g`
+/// partially filled.
+///
+/// # Errors
+///
+/// Same as [`cholesky_eliminate`], plus [`NumericsError::Cancelled`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths are not `n * n`.
+pub fn cholesky_eliminate_cancel(
+    a: &[f64],
+    g: &mut [f64],
+    n: usize,
+    threads: usize,
+    cancel: &CancelToken,
+) -> Result<(), NumericsError> {
     assert_eq!(a.len(), n * n, "cholesky_eliminate: shape mismatch");
     assert_eq!(g.len(), n * n, "cholesky_eliminate: shape mismatch");
     if !elim_parallel(n, threads) {
         vpec_trace::counter_add("pool.elim.serial", 1);
-        return cholesky_eliminate_serial(a, g, n);
+        return cholesky_eliminate_serial(a, g, n, cancel);
     }
     vpec_trace::counter_add("pool.elim.striped", 1);
-    cholesky_eliminate_striped(a, g, n, threads.min(MAX_WORKERS))
+    cholesky_eliminate_striped(a, g, n, threads.min(MAX_WORKERS), cancel)
 }
 
 /// Dot of the first `j` entries of two factor rows — the subtracted term
@@ -432,8 +482,16 @@ fn chol_partial_dot(gi: &[f64], gj: &[f64], j: usize) -> f64 {
     s
 }
 
-fn cholesky_eliminate_serial(a: &[f64], g: &mut [f64], n: usize) -> Result<(), NumericsError> {
+fn cholesky_eliminate_serial(
+    a: &[f64],
+    g: &mut [f64],
+    n: usize,
+    cancel: &CancelToken,
+) -> Result<(), NumericsError> {
     for j in 0..n {
+        if cancel.is_cancelled() {
+            return Err(NumericsError::Cancelled { op: "cholesky factor" });
+        }
         let gj = &g[j * n..j * n + n];
         let d = a[j * n + j] - chol_partial_dot(gj, gj, j);
         if d <= 0.0 || !d.is_finite() {
@@ -528,11 +586,17 @@ use shared_rows::SharedRows;
 /// Sentinel for "no failure" in the shared failure flags below.
 const NO_FAILURE: usize = usize::MAX;
 
+/// Sentinel for "cancelled" in the shared failure flags below: worker 0
+/// polls the token during its exclusive pivot phase and publishes this
+/// value to stop every worker at the next barrier.
+const CANCELLED: usize = usize::MAX - 1;
+
 #[allow(unsafe_code)]
 fn lu_eliminate_striped<T: Scalar>(
     data: &mut [T],
     n: usize,
     threads: usize,
+    cancel: &CancelToken,
 ) -> Result<(Vec<usize>, f64), NumericsError> {
     let nt = threads.min(n);
     let shared = SharedRows::new(data, n, n);
@@ -563,7 +627,9 @@ fn lu_eliminate_striped<T: Scalar>(
                                 pivot_row = i;
                             }
                         }
-                        if pivot_mag == 0.0 {
+                        if cancel.is_cancelled() {
+                            failed.store(CANCELLED, Ordering::Release);
+                        } else if pivot_mag == 0.0 {
                             failed.store(k, Ordering::Release);
                         } else if pivot_row != k {
                             perm.swap(k, pivot_row);
@@ -602,6 +668,9 @@ fn lu_eliminate_striped<T: Scalar>(
     });
 
     let step = failed.load(Ordering::Acquire);
+    if step == CANCELLED {
+        return Err(NumericsError::Cancelled { op: "lu factor" });
+    }
     if step != NO_FAILURE {
         return Err(NumericsError::Singular { step });
     }
@@ -618,6 +687,7 @@ fn cholesky_eliminate_striped(
     g: &mut [f64],
     n: usize,
     threads: usize,
+    cancel: &CancelToken,
 ) -> Result<(), NumericsError> {
     let nt = threads.min(n);
     let shared = SharedRows::new(g, n, n);
@@ -637,7 +707,9 @@ fn cholesky_eliminate_striped(
                         // prefix was finalized in earlier phases.
                         let gj = unsafe { shared.row_mut(j) };
                         let d = a[j * n + j] - chol_partial_dot(gj, gj, j);
-                        if d <= 0.0 || !d.is_finite() {
+                        if cancel.is_cancelled() {
+                            failed.store(CANCELLED, Ordering::Release);
+                        } else if d <= 0.0 || !d.is_finite() {
                             failed.store(j, Ordering::Release);
                         } else {
                             gj[j] = d.sqrt();
@@ -669,6 +741,9 @@ fn cholesky_eliminate_striped(
     });
 
     let row = failed.load(Ordering::Acquire);
+    if row == CANCELLED {
+        return Err(NumericsError::Cancelled { op: "cholesky factor" });
+    }
     if row != NO_FAILURE {
         return Err(NumericsError::NotPositiveDefinite { row });
     }
@@ -760,12 +835,12 @@ mod tests {
         let n = 40; // below ELIM_PAR_MIN_DIM: call the striped path directly
         let reference = {
             let mut m = random_matrix(n, 11);
-            let pp = lu_eliminate_serial(&mut m, n).unwrap();
+            let pp = lu_eliminate_serial(&mut m, n, &CancelToken::none()).unwrap();
             (m, pp)
         };
         for nt in [2, 3, 8] {
             let mut m = random_matrix(n, 11);
-            let pp = lu_eliminate_striped(&mut m, n, nt).unwrap();
+            let pp = lu_eliminate_striped(&mut m, n, nt, &CancelToken::none()).unwrap();
             assert_eq!(m, reference.0, "LU payload differs at nt={nt}");
             assert_eq!(pp, reference.1, "permutation differs at nt={nt}");
         }
@@ -775,7 +850,7 @@ mod tests {
     fn striped_lu_detects_singularity() {
         let n = 8;
         let mut m = vec![0.0f64; n * n]; // all-zero: singular at step 0
-        match lu_eliminate_striped(&mut m, n, 4) {
+        match lu_eliminate_striped(&mut m, n, 4, &CancelToken::none()) {
             Err(NumericsError::Singular { step }) => assert_eq!(step, 0),
             other => panic!("expected Singular, got {other:?}"),
         }
@@ -803,10 +878,10 @@ mod tests {
         let n = 36;
         let a = random_spd(n, 5);
         let mut reference = vec![0.0f64; n * n];
-        cholesky_eliminate_serial(&a, &mut reference, n).unwrap();
+        cholesky_eliminate_serial(&a, &mut reference, n, &CancelToken::none()).unwrap();
         for nt in [2, 3, 8] {
             let mut g = vec![0.0f64; n * n];
-            cholesky_eliminate_striped(&a, &mut g, n, nt).unwrap();
+            cholesky_eliminate_striped(&a, &mut g, n, nt, &CancelToken::none()).unwrap();
             assert_eq!(g, reference, "Cholesky differs at nt={nt}");
         }
     }
@@ -820,7 +895,7 @@ mod tests {
         }
         a[2 * n + 2] = -1.0; // indefinite
         let mut g = vec![0.0f64; n * n];
-        match cholesky_eliminate_striped(&a, &mut g, n, 3) {
+        match cholesky_eliminate_striped(&a, &mut g, n, 3, &CancelToken::none()) {
             Err(NumericsError::NotPositiveDefinite { row }) => assert_eq!(row, 2),
             other => panic!("expected NotPositiveDefinite, got {other:?}"),
         }
@@ -834,8 +909,36 @@ mod tests {
         let mut m = random_matrix(n, 3);
         let mut m2 = m.clone();
         let a = lu_eliminate(&mut m, n, 8).unwrap();
-        let b = lu_eliminate_serial(&mut m2, n).unwrap();
+        let b = lu_eliminate_serial(&mut m2, n, &CancelToken::none()).unwrap();
         assert_eq!(m, m2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_eliminations() {
+        let token = CancelToken::new();
+        token.cancel();
+        let n = 12;
+        let mut m = random_matrix(n, 7);
+        assert!(matches!(
+            lu_eliminate_cancel(&mut m, n, 1, &token),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        let mut m = random_matrix(n, 7);
+        assert!(matches!(
+            lu_eliminate_striped(&mut m, n, 3, &token),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        let a = random_spd(n, 7);
+        let mut g = vec![0.0f64; n * n];
+        assert!(matches!(
+            cholesky_eliminate_cancel(&a, &mut g, n, 1, &token),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        let mut g = vec![0.0f64; n * n];
+        assert!(matches!(
+            cholesky_eliminate_striped(&a, &mut g, n, 3, &token),
+            Err(NumericsError::Cancelled { .. })
+        ));
     }
 }

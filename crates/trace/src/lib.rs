@@ -285,8 +285,15 @@ pub fn parse_mode_spec(spec: &str) -> Result<TraceMode, String> {
         Ok(TraceMode::Summary)
     } else if lower == "jsonl" {
         Err("jsonl sink needs a path: --trace=jsonl:<path>".to_string())
-    } else if spec.strip_prefix("jsonl:").is_some() {
-        Ok(TraceMode::Jsonl)
+    } else if let Some(path) = spec.strip_prefix("jsonl:") {
+        // `jsonl:` with nothing after the colon would otherwise defer the
+        // failure to sink-open time; reject it while it is still a spec
+        // (= usage) problem.
+        if path.trim().is_empty() {
+            Err("jsonl sink needs a path: --trace=jsonl:<path>".to_string())
+        } else {
+            Ok(TraceMode::Jsonl)
+        }
     } else {
         Err(format!(
             "unknown trace mode {spec:?} (expected off, summary, or jsonl:<path>)"
@@ -1036,6 +1043,10 @@ mod tests {
         assert_eq!(set_mode_spec("summary").unwrap(), TraceMode::Summary);
         assert_eq!(set_mode_spec("").unwrap(), TraceMode::Off);
         assert!(set_mode_spec("jsonl").is_err());
+        // A jsonl spec without a usable path is a parse-time error, so
+        // the CLI can reject it before doing any work.
+        assert!(parse_mode_spec("jsonl:").is_err());
+        assert!(parse_mode_spec("jsonl:   ").is_err());
         assert!(set_mode_spec("banana").is_err());
         assert_eq!(mode(), TraceMode::Off);
         reset("off").unwrap();

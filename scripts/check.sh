@@ -14,12 +14,15 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test -q (workspace, VPEC_AUDIT=full)"
 # Debug tests default to full auditing anyway; pinning it here keeps the
 # gate meaningful even when the caller exported VPEC_AUDIT=off.
-VPEC_AUDIT=full cargo test -q --workspace
+# Hard timeouts: a hung watchdog/cancellation test must fail the gate,
+# not wedge CI forever. The engine tests park threads on purpose; a
+# deadlock there looks exactly like "still running" without this.
+timeout 1200 env VPEC_AUDIT=full cargo test -q --workspace
 
 echo "==> release-profile audit pass (tier-1 integration tests, VPEC_AUDIT=full)"
 # Release builds default to audits OFF; this run covers the enforcement
 # paths in the exact profile users deploy.
-VPEC_AUDIT=full cargo test -q --release --test audit_invariants --test paper_claims
+timeout 600 env VPEC_AUDIT=full cargo test -q --release --test audit_invariants --test paper_claims
 
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -36,6 +39,40 @@ for key in '"bench": "perf"' '"available_parallelism"' '"phases"' \
     exit 1
   fi
 done
+
+echo "==> batch engine smoke run (vpec batch, request isolation + degradation)"
+batch_in="target/batch_smoke_in.jsonl"
+batch_out="target/batch_smoke_out.jsonl"
+# Five-request mix: two healthy (same geometry — the second must be a
+# cache hit), one over-budget full-inversion request (must degrade to
+# wVPEC), one fault-injected panic (must fail with a typed error), one
+# healthy windowed request. The batch as a whole must exit 0.
+cat > "$batch_in" <<'EOF'
+{"id":"ok-1","bits":3,"kind":"wvpec-g:2","t_stop":5e-11}
+{"id":"ok-2","bits":3,"kind":"wvpec-g:2","t_stop":5e-11}
+{"id":"over-budget","bits":8,"kind":"vpec-full","t_stop":5e-11}
+{"id":"boom","bits":3,"kind":"wvpec-g:2","t_stop":5e-11,"faults":{"panic_engine":true}}
+{"id":"ok-3","bits":4,"kind":"wvpec-g:2","t_stop":5e-11}
+EOF
+timeout 120 cargo run --release -q -p vpec-cli --bin vpec -- \
+  batch --in "$batch_in" --max-dim 6 --retries 0 --degrade-window 2 -o "$batch_out"
+[ "$(wc -l < "$batch_out")" -eq 5 ] || { echo "batch smoke: expected 5 response lines" >&2; exit 1; }
+# Every line is valid JSON with the response schema (the trace bin's
+# validator is for trace streams, so lean on python-free grep checks).
+while IFS= read -r line; do
+  case "$line" in
+    '{"id":"'*'","status":"'*) ;;
+    *) echo "batch smoke: malformed response line: $line" >&2; exit 1 ;;
+  esac
+done < "$batch_out"
+grep -q '"id":"ok-1","status":"ok"' "$batch_out" || { echo "batch smoke: ok-1 must succeed" >&2; exit 1; }
+grep -q '"id":"ok-2","status":"ok".*"cache_hit":true' "$batch_out" \
+  || { echo "batch smoke: ok-2 must be a cache hit" >&2; exit 1; }
+grep -q '"id":"over-budget","status":"ok".*"degraded":true.*"degraded_reason":"budget"' "$batch_out" \
+  || { echo "batch smoke: over-budget must degrade to wVPEC" >&2; exit 1; }
+grep -q '"id":"boom","status":"failed".*"category":"panic"' "$batch_out" \
+  || { echo "batch smoke: boom must fail with a typed panic error" >&2; exit 1; }
+grep -q '"id":"ok-3","status":"ok"' "$batch_out" || { echo "batch smoke: ok-3 must succeed" >&2; exit 1; }
 
 echo "==> trace JSONL smoke run (model --trace=jsonl, schema validation)"
 trace_jsonl="target/trace_smoke.jsonl"

@@ -14,6 +14,9 @@
 //!   SPICE export;
 //! * [`core`] — the VPEC models, sparsifications, passivity checks, and
 //!   the experiment harness;
+//! * [`engine`] — the resilient batch scenario engine: JSONL request
+//!   streams through an isolated boundary with deadlines, budgets,
+//!   retry/backoff, graceful wVPEC degradation and a model cache;
 //! * [`trace`] — structured tracing and metrics: spans, counters, and
 //!   JSONL export, gated by `VPEC_TRACE` / `--trace`.
 //!
@@ -48,6 +51,7 @@
 
 pub use vpec_circuit as circuit;
 pub use vpec_core as core;
+pub use vpec_engine as engine;
 pub use vpec_extract as extract;
 pub use vpec_geometry as geometry;
 pub use vpec_numerics as numerics;
@@ -67,6 +71,9 @@ pub mod prelude {
         repair_passivity, CoreError, DriveConfig, LoweringStyle, PassivityReport, RepairReport,
         SolveReport, VpecModel,
     };
+    pub use vpec_core::harness::BuildBudget;
+    pub use vpec_engine::{Engine, EngineConfig, EngineError, ScenarioRequest, ScenarioResponse};
     pub use vpec_extract::{extract, ConductorSystem, ExtractionConfig, Parasitics};
     pub use vpec_geometry::{um, BusSpec, Layout, SpiralSpec, SubstrateSpec, GHZ};
+    pub use vpec_numerics::CancelToken;
 }

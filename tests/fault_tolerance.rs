@@ -102,6 +102,7 @@ fn mid_transient_nan_triggers_checkpointed_retry() {
     let faults = FaultInjection {
         fail_primary_factor: false,
         poison_step: Some(25),
+        ..FaultInjection::none()
     };
     let spec = TransientSpec::new(0.5e-9, 1e-12).fault_injection(faults);
     let (res, diag) = run_transient_with_report(&c, &spec).expect("recovers");
@@ -156,6 +157,7 @@ fn injected_factor_failure_walks_the_chain_end_to_end() {
     let faults = FaultInjection {
         fail_primary_factor: true,
         poison_step: None,
+        ..FaultInjection::none()
     };
     let spec = TransientSpec::new(0.2e-9, 1e-12)
         .solver(SolverKind::Sparse)

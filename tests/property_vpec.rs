@@ -263,6 +263,7 @@ fn guarded_transient_terminates_under_fault_injection() {
             } else {
                 None
             },
+            ..FaultInjection::none()
         };
         // A failed *dense* primary has no distinct stage 2 (it IS the
         // dense stage), so pin the sparse backend when injecting primary
