@@ -7,17 +7,25 @@
 //! --out     JSON destination (default BENCH_perf.json)
 //! ```
 //!
-//! Times five phases — extraction, S = L⁻¹ inversion, dense LU
-//! factorization, transient, AC sweep — on three fixed bus layouts, once
-//! with the pool pinned to 1 worker and once at the parallel worker
-//! count, and records the wall times plus the max-abs difference of the
-//! serial and parallel results. The parallel numerics layer is designed
-//! to be bit-compatible, so every `max_abs_diff` is expected to be 0.
+//! Times six phases — extraction, S = L⁻¹ inversion, dense LU
+//! factorization, dense matmul, transient, AC sweep — on three fixed bus
+//! layouts, once with the pool pinned to 1 worker and once at the
+//! parallel worker count, and records the wall times plus the max-abs
+//! difference of the serial and parallel results. The parallel numerics
+//! layer is designed to be bit-compatible, so every `max_abs_diff` is
+//! expected to be 0.
 //!
 //! Numbers are honest: on a single-core machine the "parallel" column
 //! still runs the striped/chunked code paths, it just cannot be faster.
-//! `available_parallelism` is recorded so downstream tooling can judge
-//! the speedup columns in context.
+//! `available_parallelism` is recorded, and every phase carries
+//! `hw_limited: true` when the machine granted fewer workers than the
+//! bench requested — downstream gates skip speedup assertions for those
+//! rows instead of failing on hardware the bench cannot control.
+//!
+//! A `factor_reuse` section times the factor-once/solve-many split:
+//! `prepare_transient` (assemble + factor + DC solve, the cold cost)
+//! against `TransientFactor::validate` (assemble + exact compare, the
+//! per-reuse cost), plus the engine factor-cache hit counters.
 
 use std::time::Instant;
 use vpec_bench::report::{secs, speedup, Table};
@@ -92,6 +100,66 @@ struct CacheReport {
     cache_hit_s: f64,
 }
 
+/// Factor-once/solve-many: the cold preparation cost against the
+/// per-reuse validation cost, plus proof the engine cache actually hits.
+struct FactorReuseReport {
+    bits: usize,
+    segments: usize,
+    dim: usize,
+    prepare_s: f64,
+    validate_s: f64,
+    engine_factor_hits: u64,
+    engine_factor_misses: u64,
+}
+
+/// Times `prepare_transient` (assemble + factor + DC) against
+/// `TransientFactor::validate` (assemble + exact compare) on a built
+/// model, then drives the engine's factor cache once cold + once warm to
+/// record its hit counters.
+fn bench_factor_reuse(bits: usize, segments: usize, reps: usize) -> FactorReuseReport {
+    let cfg = ExtractionConfig::paper_default();
+    let layout = BusSpec::new(bits).segments(segments).build();
+    let first_signal = layout.signal_nets().first().copied().unwrap_or(0);
+    let drive = DriveConfig::paper_default().aggressors(vec![first_signal]);
+    let exp = Experiment::new(layout, &cfg, drive);
+    let built = exp.build(ModelKind::VpecFull).expect("model builds");
+    let spec = TransientSpec::new(0.2e-9, 1e-12);
+
+    let (pf, prepare_s) = best_of(reps, || {
+        built.prepare_transient(&spec).expect("factor prepares")
+    });
+    let (_, validate_s) = best_of(reps, || {
+        pf.validate(&built.model.circuit, &spec)
+            .expect("handle matches its own circuit")
+    });
+
+    // Engine wiring: the same key must miss once and hit afterwards.
+    let mut cache = ModelCache::new();
+    let cancel = CancelToken::none();
+    let layout = BusSpec::new(bits).segments(segments).build();
+    let first_signal = layout.signal_nets().first().copied().unwrap_or(0);
+    let drive = DriveConfig::paper_default().aggressors(vec![first_signal]);
+    let (hash, exp, _) = cache.experiment_for(layout, &cfg, drive);
+    let (model, _) = cache
+        .model_for(hash, &exp, ModelKind::VpecFull, &cancel)
+        .expect("model builds");
+    for _ in 0..3 {
+        cache
+            .factor_for(hash, ModelKind::VpecFull, &model, &spec)
+            .expect("factor prepares");
+    }
+
+    FactorReuseReport {
+        bits,
+        segments,
+        dim: pf.dim(),
+        prepare_s,
+        validate_s,
+        engine_factor_hits: cache.factor_hits(),
+        engine_factor_misses: cache.factor_misses(),
+    }
+}
+
 /// Times one cold extraction+build and `hits` repeated-geometry lookups
 /// against the same cache. The hit column rebuilds the layout each time —
 /// exactly what `run_stream` does per request — so it includes the
@@ -158,6 +226,11 @@ fn main() {
         SIZES[0].segments,
         if quick { 3 } else { 10 },
     );
+    // Factor reuse pays off most where factorization dominates — measure
+    // on the largest layout (smallest in quick mode, to stay under CI
+    // smoke budgets).
+    let fr_size = if quick { &SIZES[0] } else { &SIZES[2] };
+    let factor_reuse = bench_factor_reuse(fr_size.bits, fr_size.segments, if quick { 2 } else { 3 });
     // Leave the pool in its default (auto) state.
     pool::set_threads(0);
 
@@ -190,7 +263,20 @@ fn main() {
         speedup(cache.cold_build_s, cache.cache_hit_s),
     );
 
-    let json = render_json(&reports, &cache, hw, par_workers, quick);
+    println!(
+        "factor reuse ({} bits x {} segments, dim {}): prepare {} vs validate {} \
+         per reuse ({}); engine factor cache {} hits / {} misses",
+        factor_reuse.bits,
+        factor_reuse.segments,
+        factor_reuse.dim,
+        secs(factor_reuse.prepare_s),
+        secs(factor_reuse.validate_s),
+        speedup(factor_reuse.prepare_s, factor_reuse.validate_s),
+        factor_reuse.engine_factor_hits,
+        factor_reuse.engine_factor_misses,
+    );
+
+    let json = render_json(&reports, &cache, &factor_reuse, hw, par_workers, quick);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {
@@ -281,7 +367,18 @@ fn bench_size(size: &SizeSpec, par_workers: usize) -> SizeReport {
         max_abs_diff: max_abs_diff(&x_s, &x_p),
     });
 
-    // Phases 4 and 5 run the full model pipeline; build once per column.
+    // Phase 4: dense matmul (the register-blocked axpy4 kernel) — L·L is
+    // the same O(n³) shape as the window-product steps of the extraction.
+    let multiply = || l.matmul(l).expect("square product");
+    let ((c_s, c_p), (ts, tp)) = bench_pair(REPS, par_workers, multiply);
+    phases.push(PhaseRow {
+        phase: "matmul",
+        serial_s: ts,
+        parallel_s: tp,
+        max_abs_diff: max_abs_diff(c_s.as_slice(), c_p.as_slice()),
+    });
+
+    // Phases 5 and 6 run the full model pipeline; build once per column.
     let first_signal = layout.signal_nets().first().copied().unwrap_or(0);
     let exp = Experiment::new(
         layout,
@@ -337,10 +434,14 @@ fn bench_pair<R>(reps: usize, par_workers: usize, f: impl Fn() -> R) -> ((R, R),
 fn render_json(
     reports: &[SizeReport],
     cache: &CacheReport,
+    factor_reuse: &FactorReuseReport,
     hw: usize,
     par_workers: usize,
     quick: bool,
 ) -> String {
+    // The machine granted fewer workers than the bench requested: the
+    // parallel columns cannot show speedups, through no fault of the code.
+    let hw_limited = par_workers < PARALLEL_THREADS;
     use std::fmt::Write as _;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"perf\",");
@@ -367,6 +468,7 @@ fn render_json(
             let _ = writeln!(out, "          \"serial_seconds\": {:.6e},", p.serial_s);
             let _ = writeln!(out, "          \"parallel_seconds\": {:.6e},", p.parallel_s);
             let _ = writeln!(out, "          \"speedup\": {ratio:.3},");
+            let _ = writeln!(out, "          \"hw_limited\": {hw_limited},");
             let _ = writeln!(out, "          \"max_abs_diff\": {:.3e}", p.max_abs_diff);
             let comma = if j + 1 < rep.phases.len() { "," } else { "" };
             let _ = writeln!(out, "        }}{comma}");
@@ -395,6 +497,37 @@ fn render_json(
         0.0
     };
     let _ = writeln!(out, "    \"hit_speedup\": {hit_speedup:.3}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"factor_reuse\": {{");
+    let _ = writeln!(out, "    \"bits\": {},", factor_reuse.bits);
+    let _ = writeln!(out, "    \"segments\": {},", factor_reuse.segments);
+    let _ = writeln!(out, "    \"dim\": {},", factor_reuse.dim);
+    let _ = writeln!(
+        out,
+        "    \"prepare_seconds\": {:.6e},",
+        factor_reuse.prepare_s
+    );
+    let _ = writeln!(
+        out,
+        "    \"validate_seconds\": {:.6e},",
+        factor_reuse.validate_s
+    );
+    let reuse_speedup = if factor_reuse.validate_s > 0.0 {
+        factor_reuse.prepare_s / factor_reuse.validate_s
+    } else {
+        0.0
+    };
+    let _ = writeln!(out, "    \"reuse_speedup\": {reuse_speedup:.3},");
+    let _ = writeln!(
+        out,
+        "    \"engine_factor_hits\": {},",
+        factor_reuse.engine_factor_hits
+    );
+    let _ = writeln!(
+        out,
+        "    \"engine_factor_misses\": {}",
+        factor_reuse.engine_factor_misses
+    );
     out.push_str("  }\n}\n");
     out
 }

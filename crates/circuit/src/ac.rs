@@ -11,10 +11,7 @@ use crate::netlist::Circuit;
 use crate::result::AcResult;
 use crate::solver::{Factored, SolverKind};
 use vpec_numerics::cancel::CancelToken;
-use vpec_numerics::{pool, Complex64, Pool};
-
-/// Minimum sweep points per worker before the AC sweep goes parallel.
-const AC_MIN_POINTS_PER_THREAD: usize = 4;
+use vpec_numerics::{pool, tune, Complex64, Pool};
 
 /// AC sweep specification.
 #[derive(Debug, Clone)]
@@ -117,8 +114,14 @@ pub fn run_ac(ckt: &Circuit, spec: &AcSpec) -> Result<AcResult, CircuitError> {
     // Each sweep point is an independent assemble + factor + solve, so the
     // sweep maps over frequencies in parallel. Results come back in sweep
     // order; on failure the error reported is the one at the lowest
-    // failing frequency, matching the serial loop's behaviour.
-    let nt = pool::threads_for(spec.frequencies.len(), AC_MIN_POINTS_PER_THREAD);
+    // failing frequency, matching the serial loop's behaviour. The
+    // points-per-worker crossover comes from the tune profile: short
+    // sweeps stay serial, where fan-out overhead used to cost more than
+    // it bought (BENCH_perf.json "small" measured a 0.978× "speedup").
+    let nt = pool::threads_for(
+        spec.frequencies.len(),
+        tune::current().ac_min_points_per_thread,
+    );
     let _sp = vpec_trace::span!(
         "ac.sweep",
         "points" => spec.frequencies.len(),

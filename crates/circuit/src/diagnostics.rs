@@ -154,6 +154,10 @@ pub struct TransientDiagnostics {
     pub steps: usize,
     /// Solve-audit telemetry (`None` when the audit layer is off).
     pub audit: Option<SolveAudit>,
+    /// `true` when the run reused a [`crate::transient::TransientFactor`]
+    /// prepared earlier (factor-once/solve-many) instead of factoring the
+    /// MNA system itself.
+    pub reused_factor: bool,
 }
 
 impl TransientDiagnostics {

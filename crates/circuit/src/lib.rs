@@ -86,5 +86,5 @@ pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId};
 pub use result::{AcResult, TransientResult};
 pub use solver::SolverKind;
-pub use transient::{Integrator, TransientSpec};
+pub use transient::{Integrator, TransientFactor, TransientSpec};
 pub use waveform::Waveform;

@@ -19,7 +19,7 @@
 //! fallback chain in [`crate::diagnostics`].
 
 use crate::dc::solve_dc_opts;
-use crate::diagnostics::{FaultInjection, SolveAudit, TransientDiagnostics};
+use crate::diagnostics::{FactorDiagnostics, FaultInjection, SolveAudit, TransientDiagnostics};
 use vpec_numerics::cancel::CancelToken;
 use crate::elements::Element;
 use crate::error::CircuitError;
@@ -182,6 +182,204 @@ fn coef_for(method: Integrator, dt: f64) -> f64 {
     }
 }
 
+/// Spec sanity checks shared by every transient entry point.
+fn validate_spec(spec: &TransientSpec) -> Result<(), CircuitError> {
+    if !spec.t_stop.is_finite() || spec.t_stop <= 0.0 {
+        return Err(CircuitError::InvalidSpec {
+            reason: "t_stop must be positive and finite",
+        });
+    }
+    if !spec.dt.is_finite() || spec.dt <= 0.0 || spec.dt > spec.t_stop {
+        return Err(CircuitError::InvalidSpec {
+            reason: "dt must be positive, finite and no larger than t_stop",
+        });
+    }
+    Ok(())
+}
+
+/// Source waveform values at `t = 0`, in element order. The MNA triplets
+/// don't cover RHS-only waveform changes, so the cached DC operating point
+/// in a [`TransientFactor`] is only valid while these stay bit-identical.
+fn source_values_at_zero(ckt: &Circuit) -> Vec<f64> {
+    ckt.elements()
+        .iter()
+        .filter_map(|e| match e {
+            Element::VSource { wave, .. } | Element::ISource { wave, .. } => {
+                Some(wave.value(0.0))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// A factorization of the transient MNA system prepared ahead of time —
+/// the **factor-once/solve-many** handle.
+///
+/// The circuits produced by the PEEC/VPEC builders are linear, so the
+/// companion-model MNA matrix depends only on the circuit stamps, the
+/// integration method and the step size. Repeated transient runs of the
+/// same geometry (batch scenarios, drive sweeps that only change waveform
+/// *timing* parameters the engine re-models anyway, deadline re-runs)
+/// therefore re-pay the `O(N³)`-ish factorization for an identical matrix.
+/// [`prepare_transient`] factors once; [`run_transient_with_report_prefactored`]
+/// re-validates cheaply (`O(nnz)` stamp comparison) and skips straight to
+/// the step loop.
+///
+/// Safety model: the handle snapshots the assembled triplets, the spec
+/// parameters that shape the matrix, and the `t = 0` source values backing
+/// the cached DC operating point. A prefactored run re-assembles and
+/// compares **exactly** — any mismatch is a loud
+/// [`CircuitError::InvalidSpec`], never a silently wrong answer.
+#[derive(Debug)]
+pub struct TransientFactor {
+    dim: usize,
+    dt: f64,
+    method: Integrator,
+    solver: SolverKind,
+    regularize: bool,
+    /// Assembled companion-model triplets the factor was computed from.
+    a: vpec_numerics::CooMatrix<f64>,
+    factored: Factored<f64>,
+    factor_diag: FactorDiagnostics,
+    /// DC operating point (sources at `t = 0`) — the initial condition.
+    dc_x: Vec<f64>,
+    /// Source values at `t = 0` when the DC point was computed.
+    src0: Vec<f64>,
+}
+
+impl TransientFactor {
+    /// Dimension of the factored MNA system.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Fallback-chain record of the preparation factorization.
+    pub fn factor_diagnostics(&self) -> &FactorDiagnostics {
+        &self.factor_diag
+    }
+
+    /// Checks that this factorization matches `(ckt, spec)` without
+    /// running anything — exactly the validation a prefactored run
+    /// performs before reusing the factor. This is the cheap
+    /// (assemble + compare, `O(nnz)`) side of factor-once/solve-many.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidSpec`] when the spec or circuit differs
+    /// from the one this factor was prepared for.
+    pub fn validate(&self, ckt: &Circuit, spec: &TransientSpec) -> Result<(), CircuitError> {
+        validate_spec(spec)?;
+        let layout = MnaLayout::new(ckt);
+        let coef = coef_for(spec.method, spec.dt);
+        let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+        self.check(ckt, spec, &layout, &a)
+    }
+
+    /// Core comparison against an already-assembled system (shared by
+    /// [`TransientFactor::validate`] and the prefactored run, which has
+    /// the assembly in hand anyway).
+    fn check(
+        &self,
+        ckt: &Circuit,
+        spec: &TransientSpec,
+        layout: &MnaLayout,
+        a: &vpec_numerics::CooMatrix<f64>,
+    ) -> Result<(), CircuitError> {
+        if spec.dt.to_bits() != self.dt.to_bits()
+            || spec.method != self.method
+            || spec.solver != self.solver
+            || spec.regularize != self.regularize
+        {
+            return Err(CircuitError::InvalidSpec {
+                reason: "prefactored transient: spec differs from the prepared factorization",
+            });
+        }
+        if layout.dim != self.dim || a.entries() != self.a.entries() {
+            return Err(CircuitError::InvalidSpec {
+                reason: "prefactored transient: circuit differs from the prepared factorization",
+            });
+        }
+        let src0 = source_values_at_zero(ckt);
+        if src0.len() != self.src0.len()
+            || src0
+                .iter()
+                .zip(self.src0.iter())
+                .any(|(u, v)| u.to_bits() != v.to_bits())
+        {
+            return Err(CircuitError::InvalidSpec {
+                reason: "prefactored transient: source values at t = 0 differ from the \
+                         prepared factorization",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Factors the transient MNA system (and solves the DC initial condition)
+/// without stepping — the expensive half of **factor-once/solve-many**.
+///
+/// The returned [`TransientFactor`] can back any number of
+/// [`run_transient_with_report_prefactored`] calls for the same circuit
+/// and spec parameters, each skipping the factorization and DC solve.
+///
+/// # Errors
+///
+/// Same conditions as [`run_transient`] up to (and including) the initial
+/// factorization and DC solve.
+pub fn prepare_transient(
+    ckt: &Circuit,
+    spec: &TransientSpec,
+) -> Result<TransientFactor, CircuitError> {
+    validate_spec(spec)?;
+    let layout = MnaLayout::new(ckt);
+    let _sp = vpec_trace::span!("transient.prepare", "dim" => layout.dim);
+    let coef = coef_for(spec.method, spec.dt);
+    let a = assemble::<f64>(ckt, &layout, |c| coef * c, |l| coef * l);
+    if audit::enabled(audit::AuditLevel::Basic) {
+        audit_stamps(&a)?;
+    }
+    let opts = FactorOptions {
+        kind: spec.solver,
+        regularize: spec.regularize,
+        fail_primary: spec.faults.fail_primary_factor,
+    };
+    let (factored, factor_diag) = {
+        let _fs = vpec_trace::span("transient.factor");
+        Factored::factor_with(&a, opts).map_err(|e| match e {
+            CircuitError::SingularSystem { .. } => CircuitError::SingularSystem {
+                analysis: "transient",
+            },
+            other => other,
+        })?
+    };
+    // Same DC policy as a cold run: honor the regularization opt-in but
+    // never the fault injection (that targets the transient factor).
+    let (dc, _) = {
+        let _ds = vpec_trace::span("transient.dc");
+        solve_dc_opts(
+            ckt,
+            FactorOptions {
+                kind: spec.solver,
+                regularize: spec.regularize,
+                fail_primary: false,
+            },
+        )?
+    };
+    let src0 = source_values_at_zero(ckt);
+    Ok(TransientFactor {
+        dim: layout.dim,
+        dt: spec.dt,
+        method: spec.method,
+        solver: spec.solver,
+        regularize: spec.regularize,
+        a,
+        factored,
+        factor_diag,
+        dc_x: dc.x,
+        src0,
+    })
+}
+
 /// Runs a fixed-step transient analysis from the DC operating point.
 ///
 /// Convenience wrapper around [`run_transient_with_report`] that discards
@@ -211,16 +409,41 @@ pub fn run_transient_with_report(
     ckt: &Circuit,
     spec: &TransientSpec,
 ) -> Result<(TransientResult, TransientDiagnostics), CircuitError> {
-    if !spec.t_stop.is_finite() || spec.t_stop <= 0.0 {
-        return Err(CircuitError::InvalidSpec {
-            reason: "t_stop must be positive and finite",
-        });
-    }
-    if !spec.dt.is_finite() || spec.dt <= 0.0 || spec.dt > spec.t_stop {
-        return Err(CircuitError::InvalidSpec {
-            reason: "dt must be positive, finite and no larger than t_stop",
-        });
-    }
+    run_transient_guarded(ckt, spec, None)
+}
+
+/// Runs a fixed-step transient analysis against a factorization prepared
+/// by [`prepare_transient`] — the cheap half of **factor-once/solve-many**.
+///
+/// The run re-assembles the MNA system and compares it exactly against
+/// the snapshot inside `factor` before reusing it; the factorization and
+/// DC solve are then skipped. The result is bit-identical to a cold
+/// [`run_transient_with_report`] of the same `(ckt, spec)` — the reused
+/// factor *is* the factor a cold run would compute, and the step loop is
+/// unchanged. [`TransientDiagnostics::reused_factor`] is set so reports
+/// can tell the two apart.
+///
+/// # Errors
+///
+/// Same conditions as [`run_transient`], plus
+/// [`CircuitError::InvalidSpec`] when `(ckt, spec)` doesn't match what
+/// `factor` was prepared for.
+pub fn run_transient_with_report_prefactored(
+    ckt: &Circuit,
+    spec: &TransientSpec,
+    factor: &TransientFactor,
+) -> Result<(TransientResult, TransientDiagnostics), CircuitError> {
+    run_transient_guarded(ckt, spec, Some(factor))
+}
+
+/// Shared guarded step loop. `prefactored == None` is the classic cold
+/// run; `Some` validates and reuses the prepared factor + DC point.
+fn run_transient_guarded(
+    ckt: &Circuit,
+    spec: &TransientSpec,
+    prefactored: Option<&TransientFactor>,
+) -> Result<(TransientResult, TransientDiagnostics), CircuitError> {
+    validate_spec(spec)?;
 
     let layout = MnaLayout::new(ckt);
     let mut tr_span = vpec_trace::span!("transient", "dim" => layout.dim);
@@ -240,37 +463,57 @@ pub fn run_transient_with_report(
     if auditing {
         audit_stamps(&a)?;
     }
-    let opts = FactorOptions {
-        kind: spec.solver,
-        regularize: spec.regularize,
-        fail_primary: spec.faults.fail_primary_factor,
-    };
-    let (mut factored, factor_diag) = {
-        let _fs = vpec_trace::span("transient.factor");
-        Factored::factor_with(&a, opts).map_err(remap)?
-    };
+    // `None` while running against the borrowed prefactored handle; a
+    // retry (which re-factors at the halved dt) always drops back into an
+    // owned factor. Cold runs own their factor from the start.
+    let mut owned_factor: Option<Factored<f64>>;
     let mut diag = TransientDiagnostics {
-        factor: factor_diag,
         final_dt: dt,
+        reused_factor: prefactored.is_some(),
         ..TransientDiagnostics::default()
     };
-
-    // Initial condition: DC operating point with sources at t = 0.
-    // The operating point honors the caller's regularization opt-in (a
-    // DC-floating node can still start a meaningful transient), but never
-    // the fault injection — that targets the transient factorization.
-    let (dc, _) = {
-        let _ds = vpec_trace::span("transient.dc");
-        solve_dc_opts(
-            ckt,
-            FactorOptions {
+    let mut x: Vec<f64>;
+    match prefactored {
+        Some(pf) => {
+            // Loud exact validation: a stale handle is an error, never a
+            // silently wrong answer. Skips the factor + DC spans entirely.
+            pf.check(ckt, spec, &layout, &a)?;
+            owned_factor = None;
+            diag.factor = pf.factor_diag.clone();
+            x = pf.dc_x.clone();
+        }
+        None => {
+            let opts = FactorOptions {
                 kind: spec.solver,
                 regularize: spec.regularize,
-                fail_primary: false,
-            },
-        )?
-    };
-    let mut x = dc.x;
+                fail_primary: spec.faults.fail_primary_factor,
+            };
+            let (factored, factor_diag) = {
+                let _fs = vpec_trace::span("transient.factor");
+                Factored::factor_with(&a, opts).map_err(remap)?
+            };
+            owned_factor = Some(factored);
+            diag.factor = factor_diag;
+
+            // Initial condition: DC operating point with sources at t = 0.
+            // The operating point honors the caller's regularization opt-in
+            // (a DC-floating node can still start a meaningful transient),
+            // but never the fault injection — that targets the transient
+            // factorization.
+            let (dc, _) = {
+                let _ds = vpec_trace::span("transient.dc");
+                solve_dc_opts(
+                    ckt,
+                    FactorOptions {
+                        kind: spec.solver,
+                        regularize: spec.regularize,
+                        fail_primary: false,
+                    },
+                )?
+            };
+            x = dc.x;
+        }
+    }
     debug_assert_eq!(x.len(), layout.dim);
 
     // Element state trackers.
@@ -418,6 +661,11 @@ pub fn run_transient_with_report(
             rhs[s.br] = -(if trap { s.v_prev } else { 0.0 }) - coef * flux;
         }
 
+        let factored: &Factored<f64> = match (&owned_factor, prefactored) {
+            (Some(f), _) => f,
+            (None, Some(pf)) => &pf.factored,
+            (None, None) => unreachable!("cold runs always own their factor"),
+        };
         factored.solve_into(&rhs, &mut x_new, &mut scratch)?;
         if poison == Some(accepted) && !x_new.is_empty() {
             x_new[0] = f64::NAN; // injected fault, consumed once
@@ -457,7 +705,9 @@ pub fn run_transient_with_report(
                 let _fs = vpec_trace::span("transient.factor");
                 Factored::factor_with(&a, retry_opts).map_err(remap)?
             };
-            factored = f;
+            // A halved dt changes the matrix, so a borrowed prefactored
+            // handle can no longer serve — own the fresh factor.
+            owned_factor = Some(f);
             diag.retries += 1;
             diag.refactorizations += 1;
             continue;
@@ -850,6 +1100,107 @@ mod tests {
         assert!(diag.factor.used_fallback());
         assert!(diag.degraded());
         let v = res.voltage(out).unwrap();
+        assert!((v.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prefactored_run_is_bit_identical_to_cold() {
+        let (c, _) = rc_circuit();
+        let spec = TransientSpec::new(1e-7, 1e-9);
+        let (cold, cold_diag) = run_transient_with_report(&c, &spec).unwrap();
+        let pf = prepare_transient(&c, &spec).unwrap();
+        pf.validate(&c, &spec).expect("handle matches what it was prepared for");
+        let (warm, warm_diag) = run_transient_with_report_prefactored(&c, &spec, &pf).unwrap();
+        // The reused factor IS the factor a cold run computes, so every
+        // sample must agree bit-for-bit — not just to tolerance.
+        assert_eq!(cold.times, warm.times);
+        assert_eq!(cold.data, warm.data);
+        assert!(!cold_diag.reused_factor);
+        assert!(warm_diag.reused_factor);
+        assert_eq!(cold_diag.steps, warm_diag.steps);
+        assert_eq!(cold_diag.factor, warm_diag.factor);
+        // The handle keeps serving: a second reuse is equally identical.
+        let (warm2, _) = run_transient_with_report_prefactored(&c, &spec, &pf).unwrap();
+        assert_eq!(cold.data, warm2.data);
+    }
+
+    #[test]
+    fn prefactored_run_rejects_spec_mismatch() {
+        let (c, _) = rc_circuit();
+        let spec = TransientSpec::new(1e-7, 1e-9);
+        let pf = prepare_transient(&c, &spec).unwrap();
+        // dt shapes the companion matrix — reuse must refuse.
+        let other_dt = TransientSpec::new(1e-7, 2e-9);
+        assert!(matches!(
+            run_transient_with_report_prefactored(&c, &other_dt, &pf),
+            Err(CircuitError::InvalidSpec { .. })
+        ));
+        assert!(pf.validate(&c, &other_dt).is_err());
+        // So does the integration method.
+        let other_method = TransientSpec::new(1e-7, 1e-9).integrator(Integrator::BackwardEuler);
+        assert!(matches!(
+            run_transient_with_report_prefactored(&c, &other_method, &pf),
+            Err(CircuitError::InvalidSpec { .. })
+        ));
+        // A longer t_stop with the same dt keeps the matrix unchanged —
+        // that reuse is legitimate and must be accepted.
+        let longer = TransientSpec::new(2e-7, 1e-9);
+        let (res, diag) = run_transient_with_report_prefactored(&c, &longer, &pf).unwrap();
+        assert!(diag.reused_factor);
+        assert_eq!(diag.steps, 200);
+        assert!(res.time().last().unwrap() > &1.9e-7);
+    }
+
+    #[test]
+    fn prefactored_run_rejects_circuit_mismatch() {
+        let (c, _) = rc_circuit();
+        let spec = TransientSpec::new(1e-7, 1e-9);
+        let pf = prepare_transient(&c, &spec).unwrap();
+        // Same topology, different resistor value: stamps differ.
+        let mut c2 = Circuit::new();
+        let inp = c2.node("in");
+        let out = c2.node("out");
+        c2.add_vsource("V1", inp, Circuit::GROUND, Waveform::dc(1.0))
+            .unwrap();
+        c2.add_resistor("R1", inp, out, 2000.0).unwrap();
+        c2.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        assert!(matches!(
+            run_transient_with_report_prefactored(&c2, &spec, &pf),
+            Err(CircuitError::InvalidSpec { .. })
+        ));
+        // Same stamps, different source amplitude: the matrix matches but
+        // the cached DC point would be wrong — the t=0 snapshot catches it.
+        let mut c3 = Circuit::new();
+        let inp = c3.node("in");
+        let out = c3.node("out");
+        c3.add_vsource("V1", inp, Circuit::GROUND, Waveform::dc(2.0))
+            .unwrap();
+        c3.add_resistor("R1", inp, out, 1000.0).unwrap();
+        c3.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        assert!(matches!(
+            run_transient_with_report_prefactored(&c3, &spec, &pf),
+            Err(CircuitError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn prefactored_run_still_recovers_via_halving() {
+        // A poisoned step under a borrowed factor must drop into an owned
+        // re-factorization at the halved dt and finish cleanly.
+        let (c, out) = rc_circuit();
+        let clean = TransientSpec::new(1e-7, 1e-9);
+        let pf = prepare_transient(&c, &clean).unwrap();
+        let spec = TransientSpec::new(1e-7, 1e-9).fault_injection(FaultInjection {
+            poison_step: Some(10),
+            ..FaultInjection::none()
+        });
+        // Fault injection doesn't shape the matrix, so reuse is legal.
+        let (res, diag) = run_transient_with_report_prefactored(&c, &spec, &pf).unwrap();
+        assert!(diag.reused_factor);
+        assert_eq!(diag.retries, 1);
+        assert_eq!(diag.refactorizations, 1);
+        let v = res.voltage(out).unwrap();
+        assert!(v.iter().all(|x| x.is_finite()));
         assert!((v.last().unwrap() - 1.0).abs() < 1e-6);
     }
 }

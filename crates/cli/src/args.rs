@@ -23,6 +23,8 @@ pub enum Command {
     Batch,
     /// `vpec serve` — stream JSONL scenarios stdin → stdout.
     Serve,
+    /// `vpec tune` — measure machine-specific kernel dispatch thresholds.
+    Tune,
     /// `vpec help`
     Help,
 }
@@ -78,6 +80,8 @@ pub struct ParsedArgs {
     pub trace: Option<String>,
     /// Input path for `batch` (`--in FILE`).
     pub input: Option<String>,
+    /// `tune --quick`: fewer repetitions, coarser (but faster) profile.
+    pub quick: bool,
     /// Resilience policy for `batch`/`serve`: deadline, admission
     /// budgets, retry/backoff, wVPEC degradation.
     pub engine: EngineConfig,
@@ -103,6 +107,7 @@ impl Default for ParsedArgs {
             audit: None,
             trace: None,
             input: None,
+            quick: false,
             engine: EngineConfig::default(),
         }
     }
@@ -148,6 +153,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
         "export" => Command::Export,
         "batch" => Command::Batch,
         "serve" => Command::Serve,
+        "tune" => Command::Tune,
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(CliError::usage(format!("unknown command: {other}"))),
     };
@@ -227,6 +233,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 out.threads = Some(n);
             }
             "--in" => out.input = Some(value("path")?.clone()),
+            "--quick" => out.quick = true,
             "--deadline-ms" => {
                 let ms: u64 = value("milliseconds")?
                     .parse()

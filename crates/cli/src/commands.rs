@@ -389,6 +389,27 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(String::new())
 }
 
+/// `vpec tune`: measure this machine's kernel-dispatch crossovers and
+/// print (or write with `-o`) a tuning profile for `VPEC_TUNE`.
+///
+/// # Errors
+///
+/// Runtime error when the output file cannot be written.
+pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
+    let profile = vpec_numerics::TuneProfile::measure(args.quick);
+    let text = profile.to_text();
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            Ok(format!(
+                "tuning profile written to {path}\napply it with: VPEC_TUNE={path} vpec ...\n"
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -417,6 +438,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         crate::Command::Export => export(args),
         crate::Command::Batch => batch(args),
         crate::Command::Serve => serve(args),
+        crate::Command::Tune => tune(args),
         crate::Command::Help => Ok(crate::USAGE.to_string()),
     };
     match (result, vpec_trace::mode()) {
@@ -449,6 +471,22 @@ mod tests {
 
     fn run_line(line: &str) -> Result<String, CliError> {
         run(&parse_args(&argv(line))?)
+    }
+
+    #[test]
+    fn tune_prints_and_writes_a_parseable_profile() {
+        let out = run_line("tune --quick").unwrap();
+        assert!(out.contains("par_min_cols"), "{out}");
+        assert!(out.contains("panel_width"), "{out}");
+        let profile = vpec_numerics::TuneProfile::parse(&out).unwrap();
+        assert!(profile.panel_width > 0);
+
+        let tmp = std::env::temp_dir().join("vpec_cli_test_profile.tune");
+        let out = run_line(&format!("tune --quick -o {}", tmp.display())).unwrap();
+        assert!(out.contains("VPEC_TUNE"), "{out}");
+        let text = std::fs::read_to_string(&tmp).unwrap();
+        assert!(vpec_numerics::TuneProfile::parse(&text).is_ok());
+        let _ = std::fs::remove_file(&tmp);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! vpec batch    --in reqs.jsonl [-o out.jsonl] [--deadline-ms 500]
 //!               [--max-dim 64] [--retries 2] [--no-degrade]
 //! vpec serve    [engine options]   # JSONL stdin -> stdout
+//! vpec tune     [--quick] [-o profile.tune]
 //! ```
 //!
 //! All numeric values accept SPICE magnitude suffixes (`1p`, `0.5n`,
@@ -75,6 +76,7 @@ COMMANDS:
   export     write a SPICE deck for the chosen model
   batch      run a JSONL scenario file through the resilient engine
   serve      stream JSONL scenarios: stdin -> stdout, one line each way
+  tune       measure kernel-dispatch thresholds for this machine
   help       show this text
 
 STRUCTURE (default: 8-bit bus with the paper's geometry):
@@ -147,6 +149,16 @@ DIAGNOSTICS:
   check). Violations carry the matrix name, index and magnitude, and
   abort the pipeline with a typed error instead of producing silently
   wrong waveforms.
+
+TUNING:
+  The parallel numerics layer dispatches between serial, blocked and
+  striped kernels using built-in thresholds. `vpec tune` measures the
+  actual crossovers on this machine and prints a profile (use --quick
+  for a faster, coarser measurement; -o FILE to write it). Apply a
+  profile with VPEC_TUNE=FILE, inline pairs (VPEC_TUNE=\"par_min_cols=32,\
+  panel_width=64\"), or VPEC_TUNE=auto to re-measure at startup.
+  Unset (or VPEC_TUNE=off) keeps the built-in defaults. Thresholds only
+  move dispatch boundaries — results are unchanged at any setting.
 
   With tracing enabled (--trace or VPEC_TRACE=summary|jsonl:PATH), every
   pipeline phase is timed as a hierarchical span: extract, model.invert,

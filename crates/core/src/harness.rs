@@ -12,8 +12,13 @@ use std::time::Instant;
 use vpec_circuit::ac::{run_ac, AcSpec};
 use vpec_circuit::spice_in::parse_value;
 use vpec_circuit::spice_out::netlist_size;
-use vpec_circuit::transient::{run_transient, run_transient_with_report};
-use vpec_circuit::{AcResult, SolveAudit, TransientDiagnostics, TransientResult, TransientSpec};
+use vpec_circuit::transient::{
+    prepare_transient, run_transient, run_transient_with_report,
+    run_transient_with_report_prefactored,
+};
+use vpec_circuit::{
+    AcResult, SolveAudit, TransientDiagnostics, TransientFactor, TransientResult, TransientSpec,
+};
 use vpec_extract::{extract, ExtractionConfig, Parasitics};
 use vpec_geometry::Layout;
 use vpec_numerics::CancelToken;
@@ -543,6 +548,50 @@ impl BuiltModel {
     ) -> Result<(TransientResult, SolveReport, f64), CoreError> {
         let t0 = Instant::now();
         let (res, diag) = run_transient_with_report(&self.model.circuit, spec)?;
+        let solve_seconds = t0.elapsed().as_secs_f64();
+        let audit = diag.audit.clone();
+        let report = SolveReport {
+            repair: self.repair.clone(),
+            transient: Some(diag),
+            threads: vpec_numerics::pool::max_threads(),
+            build_seconds: Some(self.build_seconds),
+            solve_seconds: Some(solve_seconds),
+            audit,
+            phases: vpec_trace::phase_totals_since(self.trace_mark),
+        };
+        Ok((res, report, solve_seconds))
+    }
+
+    /// Factors this model's transient MNA system ahead of time — the
+    /// expensive half of factor-once/solve-many. The handle feeds
+    /// [`BuiltModel::run_transient_with_report_prefactored`] and the
+    /// engine's factor cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures from assembly, factorization and the
+    /// DC initial-condition solve.
+    pub fn prepare_transient(&self, spec: &TransientSpec) -> Result<TransientFactor, CoreError> {
+        Ok(prepare_transient(&self.model.circuit, spec)?)
+    }
+
+    /// [`BuiltModel::run_transient_with_report`] against a factorization
+    /// prepared by [`BuiltModel::prepare_transient`] — skips the factor
+    /// and DC phases after an exact (and loud-on-mismatch) validation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures, including the
+    /// validation failure when `spec` or the circuit doesn't match what
+    /// the factor was prepared for.
+    pub fn run_transient_with_report_prefactored(
+        &self,
+        spec: &TransientSpec,
+        factor: &TransientFactor,
+    ) -> Result<(TransientResult, SolveReport, f64), CoreError> {
+        let t0 = Instant::now();
+        let (res, diag) =
+            run_transient_with_report_prefactored(&self.model.circuit, spec, factor)?;
         let solve_seconds = t0.elapsed().as_secs_f64();
         let audit = diag.audit.clone();
         let report = SolveReport {

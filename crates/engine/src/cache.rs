@@ -8,7 +8,16 @@
 //!   (the O(N²) extraction runs once per distinct geometry);
 //! - **Level 2** — `(hash, kind label)` → built model (the O(N³)
 //!   inversion and netlist lowering run once per distinct
-//!   geometry × kind).
+//!   geometry × kind);
+//! - **Level 3** — `(hash, kind label, dt bits)` → prepared transient
+//!   factorization ([`vpec_circuit::TransientFactor`]): the
+//!   factor-once/solve-many layer, so repeated transient requests for
+//!   the same model pay the MNA factorization and DC solve once.
+//!
+//! The level-3 key deliberately omits the integrator/solver/regularize
+//! knobs: the engine always issues transient specs with their defaults,
+//! and the prefactored run re-validates the spec **exactly** before
+//! reuse — a mismatch is a loud error, never a stale answer.
 //!
 //! The runner bypasses the cache entirely for fault-injected requests:
 //! injected faults change behaviour, not geometry, so neither their
@@ -16,6 +25,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use vpec_circuit::{TransientFactor, TransientSpec};
 use vpec_core::harness::{BuiltModel, Experiment, ModelKind};
 use vpec_core::{CoreError, DriveConfig};
 use vpec_extract::ExtractionConfig;
@@ -28,8 +38,11 @@ use vpec_numerics::CancelToken;
 pub struct ModelCache {
     experiments: HashMap<u64, Arc<Experiment>>,
     models: HashMap<(u64, String), Arc<BuiltModel>>,
+    factors: HashMap<(u64, String, u64), Arc<TransientFactor>>,
     hits: u64,
     misses: u64,
+    factor_hits: u64,
+    factor_misses: u64,
 }
 
 impl ModelCache {
@@ -46,6 +59,16 @@ impl ModelCache {
     /// Model-level cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Transient-factor cache hits so far (factor-once/solve-many).
+    pub fn factor_hits(&self) -> u64 {
+        self.factor_hits
+    }
+
+    /// Transient-factor cache misses so far.
+    pub fn factor_misses(&self) -> u64 {
+        self.factor_misses
     }
 
     /// Number of distinct geometries extracted.
@@ -96,6 +119,39 @@ impl ModelCache {
         vpec_trace::counter_add("engine.cache.miss", 1);
         self.models.insert(key, Arc::clone(&built));
         Ok((built, false))
+    }
+
+    /// Returns the prepared transient factorization for `(hash, kind,
+    /// spec.dt)`, factoring on first sight — the factor-once/solve-many
+    /// entry point. The boolean is `true` on a cache hit.
+    ///
+    /// The caller must pass the same `model` the key's `(hash, kind)`
+    /// maps to; the prefactored run re-validates the match exactly
+    /// before reusing the factor, so a wiring mistake here fails loudly
+    /// instead of producing a stale answer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization/DC failures; failed preparations are not
+    /// cached, so a later retry re-runs them.
+    pub fn factor_for(
+        &mut self,
+        hash: u64,
+        kind: ModelKind,
+        model: &BuiltModel,
+        spec: &TransientSpec,
+    ) -> Result<(Arc<TransientFactor>, bool), CoreError> {
+        let key = (hash, kind.label(), spec.dt.to_bits());
+        if let Some(f) = self.factors.get(&key) {
+            self.factor_hits += 1;
+            vpec_trace::counter_add("engine.factor.hit", 1);
+            return Ok((Arc::clone(f), true));
+        }
+        let factor = Arc::new(model.prepare_transient(spec)?);
+        self.factor_misses += 1;
+        vpec_trace::counter_add("engine.factor.miss", 1);
+        self.factors.insert(key, Arc::clone(&factor));
+        Ok((factor, false))
     }
 }
 

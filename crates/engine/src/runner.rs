@@ -191,19 +191,37 @@ impl Engine {
             // Fault-injected requests bypass the cache in both directions:
             // they must not be answered from it, and their (possibly
             // half-poisoned) artifacts must not enter it.
-            let (model, cache_hit): (Arc<BuiltModel>, bool) = if faults.is_armed() {
+            let (model, cache_hit, prefactor): (
+                Arc<BuiltModel>,
+                bool,
+                Option<Arc<vpec_circuit::TransientFactor>>,
+            ) = if faults.is_armed() {
                 let cfg = cfg.with_faults(faults);
                 let exp = Experiment::new(layout, &cfg, drive);
                 let built = exp
                     .build_cancel(kind, &work_token)
                     .map_err(EngineError::from_build)?;
-                (Arc::new(built), false)
+                (Arc::new(built), false, None)
             } else {
                 let (hash, exp, _) = cache.experiment_for(layout, &cfg, drive);
                 let (model, hit) = cache
                     .model_for(hash, &exp, kind, &work_token)
                     .map_err(EngineError::from_build)?;
-                (model, hit)
+                // Factor-once/solve-many: transient requests also fetch the
+                // prepared MNA factorization, cached alongside the model so
+                // repeats skip the factor + DC phases.
+                let prefactor = match &analysis {
+                    AnalysisSpec::Transient { t_stop, dt } => Some(
+                        cache
+                            .factor_for(hash, kind, &model, &TransientSpec::new(*t_stop, *dt))
+                            .map_err(|e| EngineError::AnalysisFailed {
+                                message: e.to_string(),
+                            })?
+                            .0,
+                    ),
+                    _ => None,
+                };
+                (model, hit, prefactor)
             };
 
             let analysis_err = |e: vpec_core::CoreError| EngineError::AnalysisFailed {
@@ -214,8 +232,12 @@ impl Engine {
                     let spec = TransientSpec::new(t_stop, dt)
                         .fault_injection(faults)
                         .cancel_token(work_token.clone());
-                    let (res, report, _) =
-                        model.run_transient_with_report(&spec).map_err(analysis_err)?;
+                    let (res, report, _) = match &prefactor {
+                        Some(pf) => model
+                            .run_transient_with_report_prefactored(&spec, pf)
+                            .map_err(analysis_err)?,
+                        None => model.run_transient_with_report(&spec).map_err(analysis_err)?,
+                    };
                     let mut peak: f64 = 0.0;
                     for k in 0..model.model.far_nodes.len() {
                         let w = model.far_voltage(&res, k).map_err(analysis_err)?;
@@ -455,6 +477,49 @@ mod tests {
         let second = engine.run_request(&r);
         assert!(second.ok && second.cache_hit);
         assert_eq!(engine.cache().hits(), 1);
+    }
+
+    #[test]
+    fn transient_repeats_reuse_the_factorization() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let r = req(r#"{"id":"a","bits":3,"kind":"wvpec-g:2","t_stop":5e-11}"#);
+        let first = engine.run_request(&r);
+        assert!(first.ok, "{:?}", first.error);
+        assert_eq!(
+            (engine.cache().factor_hits(), engine.cache().factor_misses()),
+            (0, 1),
+            "first transient prepares the factorization"
+        );
+        let second = engine.run_request(&r);
+        assert!(second.ok, "{:?}", second.error);
+        assert_eq!(
+            (engine.cache().factor_hits(), engine.cache().factor_misses()),
+            (1, 1),
+            "repeat reuses the prepared factorization"
+        );
+        // Factor reuse must be invisible in the answer: bit-equal peaks.
+        assert_eq!(first.peak_mv, second.peak_mv);
+        // A longer t_stop at the same dt keeps the matrix unchanged — the
+        // factor is still reusable (that's the whole point of the cache).
+        let longer = req(r#"{"id":"b","bits":3,"kind":"wvpec-g:2","t_stop":1e-10}"#);
+        let third = engine.run_request(&longer);
+        assert!(third.ok, "{:?}", third.error);
+        assert_eq!(engine.cache().factor_hits(), 2);
+        // A different dt over the same model is a different matrix: miss.
+        let other_dt = req(r#"{"id":"c","bits":3,"kind":"wvpec-g:2","t_stop":5e-11,"dt":2e-12}"#);
+        let fourth = engine.run_request(&other_dt);
+        assert!(fourth.ok, "{:?}", fourth.error);
+        assert_eq!(
+            (engine.cache().factor_hits(), engine.cache().factor_misses()),
+            (2, 2)
+        );
+        // AC and build-only requests never touch the factor cache.
+        let ac = req(r#"{"id":"c","bits":3,"kind":"wvpec-g:2","analysis":"ac"}"#);
+        let misses_before = engine.cache().factor_misses();
+        let resp = engine.run_request(&ac);
+        if resp.ok {
+            assert_eq!(engine.cache().factor_misses(), misses_before);
+        }
     }
 
     #[test]

@@ -10,13 +10,9 @@
 //!   checker certifies Theorem 1 (`Ĝ` positive definite) on concrete models.
 
 use crate::cancel::CancelToken;
+use crate::kernel;
 use crate::pool::{self, Pool};
 use crate::{DenseMatrix, NumericsError};
-
-/// Minimum columns per worker before the inverse goes parallel.
-/// `BENCH_perf.json` measured the parallel `S = L⁻¹` at 0.22–0.61 of
-/// serial speed up to 224 columns, so small problems stay serial.
-const INVERSE_MIN_COLS_PER_THREAD: usize = 64;
 
 /// Cholesky factorization `A = G·Gᵀ` of a symmetric positive-definite real
 /// matrix (G lower-triangular).
@@ -88,7 +84,7 @@ impl Cholesky {
         let _sp = vpec_trace::span!(
             "cholesky.factor",
             "dim" => n,
-            "mode" => if pool::elim_parallel(n, threads) { "striped" } else { "serial" },
+            "mode" => pool::cholesky_elim_mode(n, threads),
         );
         let mut g = DenseMatrix::<f64>::zeros(n, n);
         pool::cholesky_eliminate_cancel(a.as_slice(), g.as_mut_slice(), n, threads, cancel)?;
@@ -120,16 +116,13 @@ impl Cholesky {
             });
         }
         let mut x = b.to_vec();
-        // Forward sweep G·y = b, zipping row slices against the solved
-        // prefix of x (no per-element bounds checks).
+        // Forward sweep G·y = b, reducing each row slice against the
+        // solved prefix of x with the four-accumulator `kernel::dot4`
+        // (audited-close reassociation, deterministic per input).
         for i in 0..n {
             let (solved, rest) = x.split_at_mut(i);
             let row = self.g.row(i);
-            let mut acc = rest[0];
-            for (l, v) in row[..i].iter().zip(solved.iter()) {
-                acc -= *l * *v;
-            }
-            rest[0] = acc / row[i];
+            rest[0] = (rest[0] - kernel::dot4(&row[..i], solved)) / row[i];
         }
         // Back sweep Gᵀ·x = y in saxpy form: as each xⱼ finalizes, its
         // contribution is swept into the remaining prefix using row j of G
@@ -171,7 +164,7 @@ impl Cholesky {
         // order-preserving, so the result matches the serial loop exactly.
         // A cancelled column returns empty and the flag is re-checked
         // below, so late cancellation skips the remaining O(n²) solves.
-        let nt = pool::threads_for(n, INVERSE_MIN_COLS_PER_THREAD);
+        let nt = pool::threads_for(n, pool::par_min_cols());
         let _sp = vpec_trace::span!(
             "cholesky.inverse",
             "dim" => n,

@@ -1,6 +1,7 @@
 //! Row-major dense matrix used for partial-inductance matrices and their
 //! inverses.
 
+use crate::kernel;
 use crate::pool::{self, Pool};
 use crate::{NumericsError, Scalar};
 use std::fmt;
@@ -11,9 +12,6 @@ const MATMUL_ROW_BLOCK: usize = 4;
 /// Inner-dimension tile: keeps a band of `B` rows hot in cache while the
 /// rows of a block are updated.
 const MATMUL_K_BLOCK: usize = 64;
-/// Minimum output rows per worker before matmul goes parallel. Kept well
-/// above the spawn-overhead crossover measured in `BENCH_perf.json`.
-const MATMUL_MIN_ROWS_PER_THREAD: usize = 64;
 
 /// A row-major dense matrix over a [`Scalar`] type.
 ///
@@ -166,12 +164,7 @@ impl<T: Scalar> DenseMatrix<T> {
         vpec_trace::counter_add("dense.matvec.flops_est", (2 * self.rows * self.cols) as u64);
         let mut y = vec![T::zero(); self.rows];
         for (i, yi) in y.iter_mut().enumerate() {
-            let row = self.row(i);
-            let mut acc = T::zero();
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += *a * *b;
-            }
-            *yi = acc;
+            *yi = kernel::dot4(self.row(i), x);
         }
         Ok(y)
     }
@@ -196,10 +189,13 @@ impl<T: Scalar> DenseMatrix<T> {
         let bd = &b.data;
         // Row-partitioned over the output, tiled over the inner dimension
         // so a band of B's rows stays cache-hot across the rows of each
-        // block. Per output row the k order is ascending exactly as in the
-        // naive triple loop, so results are bit-identical at any thread
-        // count (including the serial fallback).
-        let nt = pool::threads_for(self.rows, MATMUL_MIN_ROWS_PER_THREAD);
+        // block. Per output row the k terms apply in ascending order with
+        // one rounded operation each — four at a time through
+        // `kernel::axpy4`, then a scalar remainder — exactly
+        // the sequence of the naive triple loop, so results are
+        // bit-identical at any thread count (including the serial
+        // fallback).
+        let nt = pool::threads_for(self.rows, pool::par_min_cols());
         vpec_trace::counter_add(
             "dense.matmul.flops_est",
             (2 * self.rows * inner * ocols) as u64,
@@ -218,10 +214,19 @@ impl<T: Scalar> DenseMatrix<T> {
                     let kend = (kb + MATMUL_K_BLOCK).min(inner);
                     for (di, orow) in chunk.chunks_mut(ocols.max(1)).enumerate() {
                         let arow = &a[(i0 + di) * inner..(i0 + di + 1) * inner];
-                        for (k, &aik) in arow.iter().enumerate().take(kend).skip(kb) {
-                            if aik.is_zero() {
-                                continue;
-                            }
+                        let mut k = kb;
+                        while k + 4 <= kend {
+                            kernel::axpy4(
+                                orow,
+                                [arow[k], arow[k + 1], arow[k + 2], arow[k + 3]],
+                                &bd[k * ocols..(k + 1) * ocols],
+                                &bd[(k + 1) * ocols..(k + 2) * ocols],
+                                &bd[(k + 2) * ocols..(k + 3) * ocols],
+                                &bd[(k + 3) * ocols..(k + 4) * ocols],
+                            );
+                            k += 4;
+                        }
+                        for (k, &aik) in arow.iter().enumerate().take(kend).skip(k) {
                             let brow = &bd[k * ocols..(k + 1) * ocols];
                             for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                                 *o += aik * bv;

@@ -44,6 +44,7 @@ mod dense;
 pub mod eigen;
 mod error;
 pub mod fault;
+mod kernel;
 mod lu;
 pub mod ordering;
 pub mod pool;
@@ -52,6 +53,7 @@ pub mod rng;
 mod scalar;
 mod sparse;
 mod sparse_lu;
+pub mod tune;
 mod vector;
 
 pub use cancel::CancelToken;
@@ -66,4 +68,5 @@ pub use probe::{condition_estimate, solve_regularized, spd_probe, SpdProbe};
 pub use scalar::Scalar;
 pub use sparse::{CooMatrix, CsrMatrix};
 pub use sparse_lu::SparseLu;
+pub use tune::TuneProfile;
 pub use vector::{axpy, dot, norm2, norm_inf, scale, sub};

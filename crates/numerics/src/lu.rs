@@ -6,13 +6,9 @@
 //! windowed wVPEC extraction is designed to avoid.
 
 use crate::cancel::CancelToken;
+use crate::kernel;
 use crate::pool::{self, Pool};
 use crate::{DenseMatrix, NumericsError, Scalar};
-
-/// Minimum columns per worker before multi-RHS solves go parallel.
-/// `BENCH_perf.json` measured the parallel inverse at 0.22–0.61 of serial
-/// speed up to 224 columns, so small problems stay serial.
-const SOLVE_MIN_COLS_PER_THREAD: usize = 64;
 
 /// An LU factorization `P·A = L·U` with partial (row) pivoting.
 ///
@@ -62,9 +58,9 @@ impl<T: Scalar> LuFactor<T> {
     }
 
     /// Factors `A` with an explicit worker count (`1` forces the serial
-    /// elimination). Results are bit-identical for any thread count — the
-    /// parallel path stripes the trailing-submatrix update over rows
-    /// without changing per-row arithmetic order.
+    /// elimination). Results are bit-identical for any thread count — both
+    /// the striped and blocked paths distribute trailing-submatrix rows
+    /// over workers without changing per-row arithmetic order.
     ///
     /// # Errors
     ///
@@ -95,7 +91,7 @@ impl<T: Scalar> LuFactor<T> {
         let _sp = vpec_trace::span!(
             "lu.factor",
             "dim" => n,
-            "mode" => if pool::elim_parallel(n, threads) { "striped" } else { "serial" },
+            "mode" => pool::lu_elim_mode(n, threads),
         );
         let mut lu = a.clone();
         let (perm, perm_sign) = pool::lu_eliminate_cancel(lu.as_mut_slice(), n, threads, cancel)?;
@@ -143,27 +139,20 @@ impl<T: Scalar> LuFactor<T> {
     }
 
     /// Forward/back substitution on an already-permuted right-hand side.
-    /// Both sweeps zip row slices against the solved prefix/suffix of `x`,
-    /// avoiding per-element bounds checks.
+    /// Both sweeps reduce a row slice against the solved prefix/suffix of
+    /// `x` with the four-accumulator [`kernel::dot4`] — an audited-close
+    /// reassociation of the serial sum, deterministic for a given input.
     fn substitute_in_place(&self, x: &mut [T]) {
         let n = x.len();
         for i in 1..n {
             let (solved, rest) = x.split_at_mut(i);
             let row = self.lu.row(i);
-            let mut acc = rest[0];
-            for (l, v) in row[..i].iter().zip(solved.iter()) {
-                acc -= *l * *v;
-            }
-            rest[0] = acc;
+            rest[0] -= kernel::dot4(&row[..i], solved);
         }
         for i in (0..n).rev() {
             let (head, solved) = x.split_at_mut(i + 1);
             let row = self.lu.row(i);
-            let mut acc = head[i];
-            for (u, v) in row[i + 1..].iter().zip(solved.iter()) {
-                acc -= *u * *v;
-            }
-            head[i] = acc / row[i];
+            head[i] = (head[i] - kernel::dot4(&row[i + 1..], solved)) / row[i];
         }
     }
 
@@ -184,7 +173,7 @@ impl<T: Scalar> LuFactor<T> {
         // Columns are independent solves; map them in parallel (order-
         // preserving, so results match the serial column-by-column loop
         // exactly) and gather into the output.
-        let nt = pool::threads_for(b.cols(), SOLVE_MIN_COLS_PER_THREAD);
+        let nt = pool::threads_for(b.cols(), pool::par_min_cols());
         let _sp = vpec_trace::span!(
             "lu.solve_matrix",
             "cols" => b.cols(),
@@ -231,7 +220,7 @@ impl<T: Scalar> LuFactor<T> {
         // Mirrors solve_matrix, with a per-column poll: a cancelled column
         // returns empty and the flag is re-checked below, so late
         // cancellation skips the remaining O(n²) substitutions.
-        let nt = pool::threads_for(n, SOLVE_MIN_COLS_PER_THREAD);
+        let nt = pool::threads_for(n, pool::par_min_cols());
         let _sp = vpec_trace::span!(
             "lu.solve_matrix",
             "cols" => n,

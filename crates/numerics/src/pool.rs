@@ -10,9 +10,11 @@
 //!   items or indices (per-column inverses, per-frequency AC solves,
 //!   per-filament parasitics);
 //! * [`Pool::par_join`] — two-way fork/join;
-//! * [`lu_eliminate`] / [`cholesky_eliminate`] — barrier-synchronized
-//!   striped dense eliminations (panel-parallel trailing-submatrix
-//!   updates) used by [`crate::LuFactor`] and [`crate::Cholesky`].
+//! * [`lu_eliminate`] / [`cholesky_eliminate`] — dense eliminations used
+//!   by [`crate::LuFactor`] and [`crate::Cholesky`], dispatching between
+//!   a serial loop, cache-blocked panel factorizations with four-wide
+//!   unrolled trailing updates, and barrier-synchronized striped updates
+//!   on the size thresholds of the active [`crate::tune`] profile.
 //!
 //! # Thread count
 //!
@@ -40,6 +42,7 @@
 //! this module can reach it.
 
 use crate::cancel::CancelToken;
+use crate::kernel;
 use crate::{NumericsError, Scalar};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, OnceLock};
@@ -47,19 +50,55 @@ use std::sync::{Barrier, Mutex, OnceLock};
 /// Process-wide thread-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Minimum matrix dimension before the striped eliminations go parallel.
+/// Default minimum matrix dimension before the eliminations parallelize
+/// their trailing updates (the `elim_par_min_dim` fallback of
+/// [`crate::tune::TuneProfile`]).
 ///
-/// Below this the barrier traffic of the striped update dominates the
-/// O(n³) arithmetic: `BENCH_perf.json` measured striped-LU "speedups" of
-/// 0.07 at n = 96 and 0.30 at n = 224 against the serial loop, so the
-/// crossover sits above both.
+/// Below this the coordination traffic of the parallel update dominates
+/// the O(n³) arithmetic: `BENCH_perf.json` measured striped-LU "speedups"
+/// of 0.07 at n = 96 and 0.30 at n = 224 against the serial loop, so the
+/// default crossover sits above both. A measured profile (`VPEC_TUNE`)
+/// replaces it with the crossover of the host the process runs on.
 pub const ELIM_PAR_MIN_DIM: usize = 256;
 
-/// `true` when [`lu_eliminate`] / [`cholesky_eliminate`] will take the
-/// striped parallel path for an `n × n` matrix at this worker count.
-/// Exposed so callers can record the chosen mode in trace spans.
+/// `true` when [`lu_eliminate`] / [`cholesky_eliminate`] will parallelize
+/// trailing-submatrix updates for an `n × n` matrix at this worker count.
+/// The dimension threshold comes from the active [`crate::tune`] profile.
 pub fn elim_parallel(n: usize, threads: usize) -> bool {
-    threads > 1 && n >= ELIM_PAR_MIN_DIM
+    threads > 1 && n >= crate::tune::current().elim_par_min_dim
+}
+
+/// Minimum independent columns (or rows) per worker before the multi-RHS
+/// solve, inverse, and matmul paths go parallel — the single tuner-backed
+/// source of truth behind the former per-module `*_MIN_COLS_PER_THREAD`
+/// constants. Feed it to [`threads_for`].
+pub fn par_min_cols() -> usize {
+    crate::tune::current().par_min_cols
+}
+
+/// The elimination mode [`lu_eliminate`] will pick for an `n × n` matrix
+/// at this worker count — `"blocked"`, `"striped"`, or `"serial"`.
+/// Exposed so callers can record the chosen mode in trace spans.
+pub fn lu_elim_mode(n: usize, threads: usize) -> &'static str {
+    if n >= crate::tune::current().lu_block_min_dim {
+        "blocked"
+    } else if elim_parallel(n, threads) {
+        "striped"
+    } else {
+        "serial"
+    }
+}
+
+/// The elimination mode [`cholesky_eliminate`] will pick — `"blocked"`,
+/// `"striped"`, or `"serial"`.
+pub fn cholesky_elim_mode(n: usize, threads: usize) -> &'static str {
+    if n >= crate::tune::current().chol_block_min_dim {
+        "blocked"
+    } else if elim_parallel(n, threads) {
+        "striped"
+    } else {
+        "serial"
+    }
 }
 
 /// Upper bound on the worker count — far above any sane machine, it only
@@ -354,9 +393,25 @@ pub fn lu_eliminate_cancel<T: Scalar>(
     cancel: &CancelToken,
 ) -> Result<(Vec<usize>, f64), NumericsError> {
     assert_eq!(data.len(), n * n, "lu_eliminate: shape mismatch");
+    let tune = crate::tune::current();
+    // Blocked panel factorization wins once the trailing update is large
+    // enough to amortize the panel bookkeeping; its per-element operation
+    // sequence matches the serial loop exactly (see the proof sketch at
+    // [`lu_eliminate_blocked`]), so the dispatch threshold cannot change
+    // results. Workers only parallelize the row-disjoint trailing update,
+    // which is bit-identical at any count.
+    if n >= tune.lu_block_min_dim {
+        vpec_trace::counter_add("pool.elim.blocked", 1);
+        let workers = if elim_parallel(n, threads) {
+            threads.min(MAX_WORKERS)
+        } else {
+            1
+        };
+        return lu_eliminate_blocked(data, n, workers, cancel, tune.panel_width);
+    }
     // The striped path needs enough trailing rows per column to amortize
-    // barrier traffic; below [`ELIM_PAR_MIN_DIM`] the serial loop wins
-    // outright (see the measurements cited at the constant).
+    // barrier traffic; below the tuned `elim_par_min_dim` the serial loop
+    // wins outright (see the measurements cited at [`ELIM_PAR_MIN_DIM`]).
     if !elim_parallel(n, threads) {
         vpec_trace::counter_add("pool.elim.serial", 1);
         return lu_eliminate_serial(data, n, cancel);
@@ -380,7 +435,7 @@ fn lu_update_row<T: Scalar>(row: &mut [T], urow: &[T], k: usize, pivot: T) {
     }
 }
 
-fn lu_eliminate_serial<T: Scalar>(
+pub(crate) fn lu_eliminate_serial<T: Scalar>(
     data: &mut [T],
     n: usize,
     cancel: &CancelToken,
@@ -416,6 +471,116 @@ fn lu_eliminate_serial<T: Scalar>(
         for row in trailing.chunks_mut(n) {
             lu_update_row(row, urow, k, pivot);
         }
+    }
+    Ok((perm, perm_sign))
+}
+
+/// Right-looking blocked LU with partial pivoting: panel factorization of
+/// `nb` columns (updates restricted to the panel), then the deferred
+/// updates to the remaining columns — U12 rows by ascending elimination
+/// step, and the trailing submatrix four steps per sweep ([`kernel::sub4`])
+/// with rows distributed over `threads` workers.
+///
+/// **Bit-identical to [`lu_eliminate_serial`]** (up to the sign of exact
+/// zeros): every element receives the same sequence of individually
+/// rounded `c -= factor·u` operations in the same ascending-step order —
+/// deferring updates to columns outside the panel only reorders
+/// operations on *disjoint* elements, and pivot columns live inside the
+/// panel so pivot choices coincide. The parallel trailing update
+/// partitions whole rows, so results do not depend on the worker count.
+pub(crate) fn lu_eliminate_blocked<T: Scalar>(
+    data: &mut [T],
+    n: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    nb: usize,
+) -> Result<(Vec<usize>, f64), NumericsError> {
+    assert_eq!(data.len(), n * n, "lu_eliminate_blocked: shape mismatch");
+    let nb = nb.max(1);
+    let pool = Pool::with_threads(threads.max(1));
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut perm_sign = 1.0f64;
+    let mut p = 0;
+    while p < n {
+        let pend = (p + nb).min(n);
+        // Panel factorization: pivot search and full-row swaps exactly as
+        // in the serial loop, rank-1 updates restricted to the panel
+        // columns (the rest of each row is updated after the panel).
+        for k in p..pend {
+            if cancel.is_cancelled() {
+                return Err(NumericsError::Cancelled { op: "lu factor" });
+            }
+            let mut pivot_row = k;
+            let mut pivot_mag = data[k * n + k].modulus();
+            for i in (k + 1)..n {
+                let mag = data[i * n + k].modulus();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag == 0.0 {
+                return Err(NumericsError::Singular { step: k });
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+                let (a, b) = data.split_at_mut(pivot_row * n);
+                a[k * n..k * n + n].swap_with_slice(&mut b[..n]);
+            }
+            let (top, trailing) = data.split_at_mut((k + 1) * n);
+            let urow = &top[k * n..k * n + pend];
+            let pivot = urow[k];
+            for row in trailing.chunks_mut(n) {
+                lu_update_row(&mut row[..pend], urow, k, pivot);
+            }
+        }
+        if pend == n {
+            break;
+        }
+        // U12: the deferred updates to columns pend..n of the panel rows,
+        // applied in ascending elimination-step order (row p needs none).
+        for m in (p + 1)..pend {
+            let (top, rest) = data.split_at_mut(m * n);
+            let row_m = &mut rest[..n];
+            for s in p..m {
+                let f = row_m[s];
+                if f.is_zero() {
+                    continue;
+                }
+                let us = &top[s * n + pend..s * n + n];
+                for (c, &u) in row_m[pend..].iter_mut().zip(us) {
+                    *c -= f * u;
+                }
+            }
+        }
+        // Trailing update: rows pend..n, columns pend..n receive the
+        // panel's elimination steps four at a time — one load/store of
+        // each output element covers four steps, still in ascending-step
+        // order with one rounded operation per term. Rows are independent,
+        // so the worker partition cannot affect results.
+        let (top, trail) = data.split_at_mut(pend * n);
+        let top: &[T] = top;
+        let width = pend - p;
+        pool.par_chunks_mut(trail, n, |_, row| {
+            let (lpart, crow) = row.split_at_mut(pend);
+            let lfac = &lpart[p..pend];
+            let urow = |s: usize| &top[(p + s) * n + pend..(p + s + 1) * n];
+            let mut s = 0;
+            while s + 4 <= width {
+                let f = [lfac[s], lfac[s + 1], lfac[s + 2], lfac[s + 3]];
+                kernel::sub4(crow, f, urow(s), urow(s + 1), urow(s + 2), urow(s + 3));
+                s += 4;
+            }
+            while s < width {
+                let f = lfac[s];
+                for (c, &u) in crow.iter_mut().zip(urow(s)) {
+                    *c -= f * u;
+                }
+                s += 1;
+            }
+        });
+        p = pend;
     }
     Ok((perm, perm_sign))
 }
@@ -463,6 +628,22 @@ pub fn cholesky_eliminate_cancel(
 ) -> Result<(), NumericsError> {
     assert_eq!(a.len(), n * n, "cholesky_eliminate: shape mismatch");
     assert_eq!(g.len(), n * n, "cholesky_eliminate: shape mismatch");
+    let tune = crate::tune::current();
+    // The blocked panel factorization reassociates the left-looking
+    // prefix dots (per-block partials, four accumulators), so it is
+    // *audited-close* to the serial loop rather than bit-identical — but
+    // the dispatch depends only on `n` and the process-wide tune profile,
+    // and the row-partitioned trailing update is deterministic for any
+    // worker count, so repeated runs and thread sweeps agree exactly.
+    if n >= tune.chol_block_min_dim {
+        vpec_trace::counter_add("pool.elim.blocked", 1);
+        let workers = if elim_parallel(n, threads) {
+            threads.min(MAX_WORKERS)
+        } else {
+            1
+        };
+        return cholesky_eliminate_blocked(a, g, n, workers, cancel, tune.panel_width);
+    }
     if !elim_parallel(n, threads) {
         vpec_trace::counter_add("pool.elim.serial", 1);
         return cholesky_eliminate_serial(a, g, n, cancel);
@@ -482,7 +663,7 @@ fn chol_partial_dot(gi: &[f64], gj: &[f64], j: usize) -> f64 {
     s
 }
 
-fn cholesky_eliminate_serial(
+pub(crate) fn cholesky_eliminate_serial(
     a: &[f64],
     g: &mut [f64],
     n: usize,
@@ -506,6 +687,87 @@ fn cholesky_eliminate_serial(
             let s = a[i * n + j] - chol_partial_dot(gi, gj, j);
             gi[j] = s / dj;
         }
+    }
+    Ok(())
+}
+
+/// Blocked left-looking Cholesky: copies the lower triangle of `a` into
+/// `g`, factors `nb`-column panels with block-local prefix dots, then
+/// subtracts each finalized panel from the trailing submatrix as
+/// four-accumulator row dots ([`kernel::dot4`]) with rows distributed
+/// over `threads` workers.
+///
+/// **Audited-close, not bit-identical**, to [`cholesky_eliminate_serial`]:
+/// splitting the prefix dot into per-block partial sums (and `dot4`'s
+/// four accumulators) reassociates the floating-point summation. The
+/// reassociation is fixed by `n`, `nb`, and the input alone — rows are
+/// partitioned whole, so the result is the same for any worker count.
+pub(crate) fn cholesky_eliminate_blocked(
+    a: &[f64],
+    g: &mut [f64],
+    n: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    nb: usize,
+) -> Result<(), NumericsError> {
+    assert_eq!(a.len(), n * n, "cholesky_eliminate_blocked: shape mismatch");
+    assert_eq!(g.len(), n * n, "cholesky_eliminate_blocked: shape mismatch");
+    let nb = nb.max(1);
+    let pool = Pool::with_threads(threads.max(1));
+    // Work in place: seed g's lower triangle with a's, then subtract block
+    // contributions as panels finalize. The upper triangle stays zeroed.
+    for i in 0..n {
+        g[i * n..i * n + i + 1].copy_from_slice(&a[i * n..i * n + i + 1]);
+    }
+    let mut p = 0;
+    while p < n {
+        let pend = (p + nb).min(n);
+        // Panel: left-looking within the block — contributions of columns
+        // < p were already subtracted by earlier trailing updates, so the
+        // prefix dots only span the block-local columns p..j.
+        for j in p..pend {
+            if cancel.is_cancelled() {
+                return Err(NumericsError::Cancelled { op: "cholesky factor" });
+            }
+            let gj = &g[j * n + p..j * n + j];
+            let d = g[j * n + j] - kernel::dot4(gj, gj);
+            if d <= 0.0 || !d.is_finite() {
+                return Err(NumericsError::NotPositiveDefinite { row: j });
+            }
+            let dj = d.sqrt();
+            g[j * n + j] = dj;
+            let (top, below) = g.split_at_mut((j + 1) * n);
+            let gj = &top[j * n + p..j * n + j];
+            for gi in below.chunks_mut(n) {
+                let s = gi[j] - kernel::dot4(&gi[p..j], gj);
+                gi[j] = s / dj;
+            }
+        }
+        if pend == n {
+            break;
+        }
+        // Trailing update: C[i][j] -= ⟨B_i, B_j⟩ over the panel columns,
+        // where B is the finalized factor block (rows pend..n, columns
+        // p..pend). Workers write disjoint rows but read each other's B
+        // rows, so B is copied out contiguously and shared read-only.
+        let width = pend - p;
+        let rows = n - pend;
+        let mut bpanel = vec![0.0f64; rows * width];
+        for r in 0..rows {
+            let src = (pend + r) * n + p;
+            bpanel[r * width..(r + 1) * width].copy_from_slice(&g[src..src + width]);
+        }
+        let bp: &[f64] = &bpanel;
+        let trail = &mut g[pend * n..];
+        pool.par_chunks_mut(trail, n, |off, row| {
+            let r = off / n;
+            let bi = &bp[r * width..(r + 1) * width];
+            for c in 0..=r {
+                let bj = &bp[c * width..(c + 1) * width];
+                row[pend + c] -= kernel::dot4(bi, bj);
+            }
+        });
+        p = pend;
     }
     Ok(())
 }
@@ -592,7 +854,7 @@ const NO_FAILURE: usize = usize::MAX;
 const CANCELLED: usize = usize::MAX - 1;
 
 #[allow(unsafe_code)]
-fn lu_eliminate_striped<T: Scalar>(
+pub(crate) fn lu_eliminate_striped<T: Scalar>(
     data: &mut [T],
     n: usize,
     threads: usize,
@@ -899,6 +1161,98 @@ mod tests {
             Err(NumericsError::NotPositiveDefinite { row }) => assert_eq!(row, 2),
             other => panic!("expected NotPositiveDefinite, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn blocked_lu_is_bit_identical_to_serial() {
+        // Sizes straddle panel boundaries (multiples, off-by-one, below
+        // one panel) and worker counts cover serial/parallel trailing
+        // updates; every combination must reproduce the serial bits.
+        for n in [5, 31, 32, 33, 64, 97] {
+            let reference = {
+                let mut m = random_matrix(n, 23);
+                let pp = lu_eliminate_serial(&mut m, n, &CancelToken::none()).unwrap();
+                (m, pp)
+            };
+            for nb in [4, 8, 32] {
+                for nt in [1, 2, 8] {
+                    let mut m = random_matrix(n, 23);
+                    let pp =
+                        lu_eliminate_blocked(&mut m, n, nt, &CancelToken::none(), nb).unwrap();
+                    assert_eq!(m, reference.0, "LU payload differs at n={n} nb={nb} nt={nt}");
+                    assert_eq!(pp, reference.1, "permutation differs at n={n} nb={nb} nt={nt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_lu_detects_singularity() {
+        let n = 12;
+        let mut m = vec![0.0f64; n * n];
+        match lu_eliminate_blocked(&mut m, n, 2, &CancelToken::none(), 4) {
+            Err(NumericsError::Singular { step }) => assert_eq!(step, 0),
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_cholesky_is_close_to_serial_and_thread_invariant() {
+        for n in [6, 33, 64, 97] {
+            let a = random_spd(n, 17);
+            let mut reference = vec![0.0f64; n * n];
+            cholesky_eliminate_serial(&a, &mut reference, n, &CancelToken::none()).unwrap();
+            let mut base = vec![0.0f64; n * n];
+            cholesky_eliminate_blocked(&a, &mut base, n, 1, &CancelToken::none(), 8).unwrap();
+            // Audited-close to serial: the blocked panels reassociate the
+            // prefix dots, so compare against a scaled tolerance.
+            let scale = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            for (x, y) in base.iter().zip(&reference) {
+                assert!(
+                    (x - y).abs() <= 1e-12 * scale.max(1.0),
+                    "blocked Cholesky drifted at n={n}: {x} vs {y}"
+                );
+            }
+            // Exactly thread-count- and rerun-invariant.
+            for nt in [2, 8] {
+                let mut g = vec![0.0f64; n * n];
+                cholesky_eliminate_blocked(&a, &mut g, n, nt, &CancelToken::none(), 8).unwrap();
+                assert_eq!(g, base, "blocked Cholesky differs at n={n} nt={nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_cholesky_rejects_indefinite() {
+        let n = 9;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        a[4 * n + 4] = -1.0;
+        let mut g = vec![0.0f64; n * n];
+        match cholesky_eliminate_blocked(&a, &mut g, n, 3, &CancelToken::none(), 4) {
+            Err(NumericsError::NotPositiveDefinite { row }) => assert_eq!(row, 4),
+            other => panic!("expected NotPositiveDefinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_blocked_eliminations() {
+        let token = CancelToken::new();
+        token.cancel();
+        let n = 16;
+        let mut m = random_matrix(n, 29);
+        assert!(matches!(
+            lu_eliminate_blocked(&mut m, n, 2, &token, 4),
+            Err(NumericsError::Cancelled { .. })
+        ));
+        let a = random_spd(n, 29);
+        let mut g = vec![0.0f64; n * n];
+        assert!(matches!(
+            cholesky_eliminate_blocked(&a, &mut g, n, 2, &token, 4),
+            Err(NumericsError::Cancelled { .. })
+        ));
     }
 
     #[test]

@@ -154,6 +154,77 @@ fn cholesky_factor_and_inverse_match_serial() {
 }
 
 #[test]
+fn blocked_dispatch_boundaries_are_thread_invariant() {
+    // The tuned dispatch switches elimination kernels around the blocked
+    // thresholds (default 64 for both LU and Cholesky). The kernel choice
+    // depends only on the dimension and the process-stable tune profile —
+    // never on the worker count — so sizes straddling each boundary must
+    // give *bit-identical* answers at every thread count.
+    let mut rng = XorShift64::new(0x2006);
+    for &n in &[63, 64, 65, 96, 160] {
+        let mut a = random_matrix(&mut rng, n, n);
+        for i in 0..n {
+            a[(i, i)] += n as f64; // dominant, hence nonsingular
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+        let x1 = LuFactor::with_threads(&a, 1)
+            .expect("nonsingular")
+            .solve(&rhs)
+            .expect("solve");
+        for nt in THREAD_COUNTS {
+            let xn = LuFactor::with_threads(&a, nt)
+                .expect("nonsingular")
+                .solve(&rhs)
+                .expect("solve");
+            assert_eq!(x1, xn, "LU at n={n} must be bit-identical at {nt} workers");
+        }
+        let s = spd_matrix(&mut rng, n);
+        let y1 = Cholesky::with_threads(&s, 1)
+            .expect("SPD")
+            .solve(&rhs)
+            .expect("solve");
+        for nt in THREAD_COUNTS {
+            let yn = Cholesky::with_threads(&s, nt)
+                .expect("SPD")
+                .solve(&rhs)
+                .expect("solve");
+            assert_eq!(y1, yn, "Cholesky at n={n} must be bit-identical at {nt} workers");
+        }
+    }
+}
+
+#[test]
+fn matvec_and_matmul_cover_the_unroll_tail() {
+    // The register-blocked kernels unroll over four columns/terms; shapes
+    // with every remainder mod 4 must agree with a plain reference loop.
+    let mut rng = XorShift64::new(0x2007);
+    for &k in &[4, 5, 6, 7, 64, 65] {
+        let a = random_matrix(&mut rng, 9, k);
+        let b = random_matrix(&mut rng, k, 11);
+        let x: Vec<f64> = (0..k).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+        let y = a.matvec(&x).expect("conforming");
+        for i in 0..9 {
+            let reference: f64 = (0..k).map(|j| a[(i, j)] * x[j]).sum();
+            assert!(
+                (y[i] - reference).abs() <= TOL * (1.0 + reference.abs()),
+                "matvec tail at k={k}, row {i}: {} vs {reference}",
+                y[i]
+            );
+        }
+        let c = a.matmul(&b).expect("conforming");
+        for i in 0..9 {
+            for j in 0..11 {
+                let reference: f64 = (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum();
+                assert!(
+                    (c[(i, j)] - reference).abs() <= TOL * (1.0 + reference.abs()),
+                    "matmul tail at k={k}, ({i},{j})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn env_variable_drives_thread_resolution() {
     // With no override, `VPEC_THREADS` decides — and whatever it decides,
     // the kernels must agree with the serial result.

@@ -40,6 +40,23 @@ for key in '"bench": "perf"' '"available_parallelism"' '"phases"' \
   fi
 done
 
+echo "==> tune smoke run (vpec tune --quick, profile round-trip)"
+tune_out="target/tune_smoke.tune"
+timeout 300 cargo run --release -q -p vpec-cli --bin vpec -- tune --quick -o "$tune_out"
+for key in par_min_cols elim_par_min_dim lu_block_min_dim chol_block_min_dim \
+           panel_width ac_min_points_per_thread; do
+  grep -q "^$key = " "$tune_out" || { echo "tune profile missing $key" >&2; exit 1; }
+done
+# The written profile must round-trip: a run under VPEC_TUNE=<file> must
+# load it cleanly (a parse failure prints a loud warning and falls back).
+env VPEC_TUNE="$tune_out" timeout 120 cargo run --release -q -p vpec-cli --bin vpec -- \
+  model --bits 4 --kind wvpec-g:2 > /dev/null 2> target/tune_smoke_stderr.txt
+if grep -qi "tune" target/tune_smoke_stderr.txt; then
+  echo "tune smoke: VPEC_TUNE=$tune_out was not accepted cleanly:" >&2
+  cat target/tune_smoke_stderr.txt >&2
+  exit 1
+fi
+
 echo "==> batch engine smoke run (vpec batch, request isolation + degradation)"
 batch_in="target/batch_smoke_in.jsonl"
 batch_out="target/batch_smoke_out.jsonl"
@@ -119,6 +136,44 @@ if [ -f BENCH_perf.json ]; then
   }'
 else
   echo "BENCH_perf.json not tracked yet; skipping overhead comparison"
+fi
+
+echo "==> per-phase perf regression gate (quick perf vs tracked BENCH_perf.json)"
+# Each small-layout phase's serial time must stay within 10% of the
+# tracked baseline. Phases under a 1 ms noise floor are reported but not
+# gated (µs-scale timings jitter far beyond 10% between runs). Speedup
+# columns are never gated here: rows carry hw_limited=true whenever the
+# machine granted fewer workers than requested, and serial times are the
+# only hardware-independent signal.
+if [ -f BENCH_perf.json ]; then
+  awk '
+    function phase_of(l) { sub(/.*"phase": "/, "", l); sub(/".*/, "", l); return l }
+    FNR == 1 { f++ }
+    /"name": "small"/ { s = 1; next }
+    s && /"name": "/ { s = 0 }
+    s && /"phase"/ { p = phase_of($0) }
+    s && /"serial_seconds"/ {
+      line = $0; gsub(/[, ]/, "", line); sub(/.*:/, "", line)
+      v[f "/" p] = line + 0
+      if (f == 1) order[++n] = p
+    }
+    END {
+      bad = 0
+      for (i = 1; i <= n; i++) {
+        p = order[i]; b = v["1/" p]; c = v["2/" p]
+        if (b == "" || c == "") { printf "phase %-14s missing in one file; skipping\n", p; continue }
+        if (b < 1e-3) { printf "phase %-14s baseline %.3e s under the 1 ms gate floor; reported only (current %.3e s)\n", p, b, c; continue }
+        ratio = c / b
+        printf "phase %-14s baseline %.3e s, current %.3e s (ratio %.2f)\n", p, b, c, ratio
+        if (ratio > 1.10) {
+          printf "perf regression: small-layout phase %s is >10%% slower than the tracked baseline\n", p > "/dev/stderr"
+          bad = 1
+        }
+      }
+      exit bad
+    }' BENCH_perf.json "$smoke_json"
+else
+  echo "BENCH_perf.json not tracked yet; skipping per-phase gate"
 fi
 
 echo "==> all checks passed"
