@@ -2,6 +2,7 @@
 
 use crate::CliError;
 use vpec_circuit::spice_in::parse_value;
+use vpec_circuit::SolverKind;
 use vpec_core::harness::ModelKind;
 use vpec_engine::EngineConfig;
 use vpec_numerics::audit::AuditLevel;
@@ -78,6 +79,10 @@ pub struct ParsedArgs {
     /// Tracing-sink spec (`--trace[=off|summary|jsonl:PATH]`; `None` =
     /// resolve from `VPEC_TRACE`).
     pub trace: Option<String>,
+    /// Linear-solver override for transient analyses
+    /// (`--solver=direct|iterative|auto`; `None` = the spec default,
+    /// `Auto`).
+    pub solver: Option<SolverKind>,
     /// Input path for `batch` (`--in FILE`).
     pub input: Option<String>,
     /// `tune --quick`: fewer repetitions, coarser (but faster) profile.
@@ -106,6 +111,7 @@ impl Default for ParsedArgs {
             threads: None,
             audit: None,
             trace: None,
+            solver: None,
             input: None,
             quick: false,
             engine: EngineConfig::default(),
@@ -267,6 +273,10 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 out.engine.degrade_window = positive(flag, value("window size")?)?;
             }
             "-o" | "--output" => out.output = Some(value("path")?.clone()),
+            "--solver" => {
+                out.solver =
+                    Some(SolverKind::parse(value("solver kind")?).map_err(CliError::usage)?);
+            }
             "--audit" => out.audit = Some(AuditLevel::Full),
             "--trace" => out.trace = Some("summary".to_string()),
             other => {
@@ -276,6 +286,8 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
                             "unknown audit level: {level} (use off, basic or full)"
                         ))
                     })?);
+                } else if let Some(tok) = other.strip_prefix("--solver=") {
+                    out.solver = Some(SolverKind::parse(tok).map_err(CliError::usage)?);
                 } else if let Some(spec) = other.strip_prefix("--trace=") {
                     // Validate eagerly so a typo fails at parse time, but
                     // store the raw spec — it is applied process-globally
@@ -440,6 +452,27 @@ mod tests {
             Some(AuditLevel::Full)
         );
         assert!(parse_args(&argv("simulate --audit=wat")).is_err());
+    }
+
+    #[test]
+    fn parses_solver_flag() {
+        assert_eq!(parse_args(&argv("simulate")).unwrap().solver, None);
+        assert_eq!(
+            parse_args(&argv("simulate --solver=iterative")).unwrap().solver,
+            Some(SolverKind::Iterative)
+        );
+        assert_eq!(
+            parse_args(&argv("simulate --solver direct")).unwrap().solver,
+            Some(SolverKind::Direct)
+        );
+        assert_eq!(
+            parse_args(&argv("noise --solver=auto")).unwrap().solver,
+            Some(SolverKind::Auto)
+        );
+        let err = parse_args(&argv("simulate --solver=qr")).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown solver"), "{}", err.message);
+        assert!(parse_args(&argv("simulate --solver")).is_err());
     }
 
     #[test]

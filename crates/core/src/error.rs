@@ -29,6 +29,13 @@ pub enum CoreError {
     /// A runtime numerical audit found an invariant violation (see
     /// [`crate::invariants`]).
     AuditFailed(vpec_numerics::audit::AuditFailure),
+    /// A simulated waveform produced a non-finite (NaN/∞) peak — the
+    /// solver output is unusable and must not be ranked or reported as
+    /// if it were a quiet net.
+    NonFinitePeak {
+        /// The net whose far-end waveform was non-finite.
+        net: usize,
+    },
     /// A pre-flight budget check rejected the request before any work
     /// (engine admission control, see `BuildBudget` in the harness).
     BudgetExceeded {
@@ -55,6 +62,10 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Circuit(e) => write!(f, "netlist construction failed: {e}"),
             CoreError::AuditFailed(e) => write!(f, "numerical audit failed: {e}"),
+            CoreError::NonFinitePeak { net } => write!(
+                f,
+                "far-end waveform of net {net} has a non-finite peak (NaN/inf)"
+            ),
             CoreError::BudgetExceeded { what, limit, actual } => write!(
                 f,
                 "request exceeds its {what} budget: {actual} > {limit}"
@@ -112,5 +123,8 @@ mod tests {
         };
         assert!(e.to_string().contains("filament count"));
         assert!(e.to_string().contains("100 > 64"));
+        let e = CoreError::NonFinitePeak { net: 7 };
+        assert!(e.to_string().contains("net 7"));
+        assert!(e.to_string().contains("non-finite"));
     }
 }

@@ -12,7 +12,6 @@
 
 use crate::harness::{Experiment, ModelKind};
 use crate::CoreError;
-use vpec_circuit::metrics::peak_abs;
 use vpec_circuit::TransientSpec;
 
 /// Peak noise seen at one quiet net's far end.
@@ -41,10 +40,13 @@ pub struct NoiseReport {
 
 impl NoiseReport {
     /// The victim with the highest peak noise, if any victim exists.
+    ///
+    /// [`noise_scan`] guarantees every recorded peak is finite; should a
+    /// hand-built report carry a NaN peak anyway, the total order ranks
+    /// it *highest*, so a poisoned entry surfaces as the worst victim
+    /// instead of silently losing every comparison.
     pub fn worst(&self) -> Option<&VictimNoise> {
-        self.victims
-            .iter()
-            .max_by(|a, b| a.peak.partial_cmp(&b.peak).unwrap_or(std::cmp::Ordering::Equal))
+        self.victims.iter().max_by(|a, b| a.peak.total_cmp(&b.peak))
     }
 
     /// Victims whose peak exceeds `threshold` volts (noise-margin check),
@@ -55,9 +57,27 @@ impl NoiseReport {
             .iter()
             .filter(|n| n.peak > threshold)
             .collect();
-        v.sort_by(|a, b| b.peak.partial_cmp(&a.peak).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| b.peak.total_cmp(&a.peak));
         v
     }
+}
+
+/// Peak |V| of one victim waveform with its sample index, rejecting
+/// non-finite samples. The previous `max_by(partial_cmp.unwrap_or(Equal))`
+/// ranking could return a non-peak sample when the waveform carried a NaN
+/// (every comparison against it collapsed to `Equal`), and `peak_abs`'s
+/// `f64::max` fold silently dropped NaN entirely — a diverged solve would
+/// read as a quiet net.
+fn victim_peak(net: usize, w: &[f64]) -> Result<(f64, usize), CoreError> {
+    if !w.iter().all(|v| v.is_finite()) {
+        return Err(CoreError::NonFinitePeak { net });
+    }
+    let idx = w
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+        .map_or(0, |(i, _)| i);
+    Ok((w.get(idx).copied().unwrap_or(0.0).abs(), idx))
 }
 
 /// Runs a noise scan: build the model `kind` for the experiment, simulate
@@ -80,16 +100,7 @@ pub fn noise_scan(
             continue;
         }
         let w = built.far_voltage(&res, net)?;
-        let peak = peak_abs(&w);
-        let peak_idx = w
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                a.1.abs()
-                    .partial_cmp(&b.1.abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map_or(0, |(i, _)| i);
+        let (peak, peak_idx) = victim_peak(net, &w)?;
         victims.push(VictimNoise {
             net,
             peak,
@@ -131,7 +142,7 @@ pub fn worst_aggressor_alignment(
         sub.drive = sub.drive.aggressors(vec![agg]);
         let built = sub.build(kind)?;
         let (res, _) = built.run_transient(spec)?;
-        let peak = peak_abs(&built.far_voltage(&res, victim)?);
+        let (peak, _) = victim_peak(victim, &built.far_voltage(&res, victim)?)?;
         if peak > worst.1 {
             worst = (agg, peak);
         }
@@ -227,6 +238,46 @@ mod tests {
             worst_aggressor_alignment(&exp, ModelKind::VpecFull, &spec, 7, &[0, 5]).unwrap();
         assert_eq!(agg, 5, "the closer candidate dominates");
         assert!(peak > 0.0);
+    }
+
+    #[test]
+    fn nan_waveform_is_a_typed_error() {
+        // Pre-fix, the Equal-on-NaN comparator could hand back a non-peak
+        // sample and `peak_abs` read an all-NaN waveform as 0 V (quiet).
+        assert_eq!(
+            victim_peak(3, &[0.0, f64::NAN, 0.2]).unwrap_err(),
+            CoreError::NonFinitePeak { net: 3 }
+        );
+        assert!(victim_peak(0, &[0.1, f64::INFINITY]).is_err());
+        assert_eq!(
+            victim_peak(5, &[f64::NAN; 4]).unwrap_err(),
+            CoreError::NonFinitePeak { net: 5 }
+        );
+        // The finite path is unchanged: peak magnitude and its index.
+        assert_eq!(victim_peak(0, &[0.1, -0.7, 0.3]).unwrap(), (0.7, 1));
+        assert_eq!(victim_peak(0, &[]).unwrap(), (0.0, 0));
+    }
+
+    #[test]
+    fn nan_peak_in_a_hand_built_report_surfaces_loudly() {
+        let v = |net: usize, peak: f64| VictimNoise {
+            net,
+            peak,
+            peak_time: 0.0,
+            residual: 0.0,
+        };
+        let report = NoiseReport {
+            aggressors: vec![0],
+            victims: vec![v(1, 0.5), v(2, f64::NAN), v(3, 0.9)],
+            seconds: 0.0,
+        };
+        // Under the total order NaN ranks *highest*: a poisoned entry
+        // becomes the worst victim instead of losing every comparison.
+        assert_eq!(report.worst().unwrap().net, 2);
+        // `peak > threshold` is false for NaN, so the margin filter drops
+        // it and the rest sort deterministically worst-first.
+        let order: Vec<usize> = report.above(0.0).iter().map(|n| n.net).collect();
+        assert_eq!(order, vec![3, 1]);
     }
 
     #[test]

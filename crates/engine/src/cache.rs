@@ -9,15 +9,17 @@
 //! - **Level 2** — `(hash, kind label)` → built model (the O(N³)
 //!   inversion and netlist lowering run once per distinct
 //!   geometry × kind);
-//! - **Level 3** — `(hash, kind label, dt bits)` → prepared transient
-//!   factorization ([`vpec_circuit::TransientFactor`]): the
+//! - **Level 3** — `(hash, kind label, dt bits, solver)` → prepared
+//!   transient factorization ([`vpec_circuit::TransientFactor`]): the
 //!   factor-once/solve-many layer, so repeated transient requests for
 //!   the same model pay the MNA factorization and DC solve once.
 //!
-//! The level-3 key deliberately omits the integrator/solver/regularize
-//! knobs: the engine always issues transient specs with their defaults,
-//! and the prefactored run re-validates the spec **exactly** before
-//! reuse — a mismatch is a loud error, never a stale answer.
+//! The level-3 key deliberately omits the integrator/regularize knobs:
+//! the engine always issues transient specs with their defaults, and
+//! the prefactored run re-validates the spec **exactly** before reuse —
+//! a mismatch is a loud error, never a stale answer. The solver *is*
+//! keyed, because requests can override it (`"solver": "iterative"`)
+//! and a direct factor must not shadow an iterative one.
 //!
 //! The runner bypasses the cache entirely for fault-injected requests:
 //! injected faults change behaviour, not geometry, so neither their
@@ -25,7 +27,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use vpec_circuit::{TransientFactor, TransientSpec};
+use vpec_circuit::{SolverKind, TransientFactor, TransientSpec};
 use vpec_core::harness::{BuiltModel, Experiment, ModelKind};
 use vpec_core::{CoreError, DriveConfig};
 use vpec_extract::ExtractionConfig;
@@ -38,7 +40,7 @@ use vpec_numerics::CancelToken;
 pub struct ModelCache {
     experiments: HashMap<u64, Arc<Experiment>>,
     models: HashMap<(u64, String), Arc<BuiltModel>>,
-    factors: HashMap<(u64, String, u64), Arc<TransientFactor>>,
+    factors: HashMap<(u64, String, u64, SolverKind), Arc<TransientFactor>>,
     hits: u64,
     misses: u64,
     factor_hits: u64,
@@ -122,8 +124,9 @@ impl ModelCache {
     }
 
     /// Returns the prepared transient factorization for `(hash, kind,
-    /// spec.dt)`, factoring on first sight — the factor-once/solve-many
-    /// entry point. The boolean is `true` on a cache hit.
+    /// spec.dt, spec.solver)`, factoring on first sight — the
+    /// factor-once/solve-many entry point. The boolean is `true` on a
+    /// cache hit.
     ///
     /// The caller must pass the same `model` the key's `(hash, kind)`
     /// maps to; the prefactored run re-validates the match exactly
@@ -141,7 +144,7 @@ impl ModelCache {
         model: &BuiltModel,
         spec: &TransientSpec,
     ) -> Result<(Arc<TransientFactor>, bool), CoreError> {
-        let key = (hash, kind.label(), spec.dt.to_bits());
+        let key = (hash, kind.label(), spec.dt.to_bits(), spec.solver);
         if let Some(f) = self.factors.get(&key) {
             self.factor_hits += 1;
             vpec_trace::counter_add("engine.factor.hit", 1);

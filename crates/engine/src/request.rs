@@ -15,6 +15,7 @@
 //! by the windowed fallback or whose solve needed recovery.
 
 use crate::EngineError;
+use vpec_circuit::SolverKind;
 use vpec_core::harness::ModelKind;
 use vpec_numerics::fault::FaultInjection;
 use vpec_trace::json::{escape, parse, JsonValue};
@@ -98,6 +99,9 @@ pub struct ScenarioRequest {
     pub faults: FaultInjection,
     /// Per-request wall-clock deadline override, milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Linear-solver override for transient analyses (the `"solver"`
+    /// field, grammar `direct`/`iterative`/`auto`; `None` = `Auto`).
+    pub solver: Option<SolverKind>,
 }
 
 fn get_usize(v: &JsonValue, key: &str, default: usize) -> Result<usize, EngineError> {
@@ -243,6 +247,18 @@ impl ScenarioRequest {
             }
         };
 
+        let solver = match v.get("solver") {
+            None | Some(JsonValue::Null) => None,
+            Some(JsonValue::Str(tok)) => Some(
+                SolverKind::parse(tok).map_err(|message| EngineError::BadRequest { message })?,
+            ),
+            Some(_) => {
+                return Err(EngineError::BadRequest {
+                    message: "solver must be a string (direct, iterative or auto)".into(),
+                })
+            }
+        };
+
         let deadline = get_usize(&v, "deadline_ms", 0)?;
         Ok(ScenarioRequest {
             id,
@@ -251,6 +267,7 @@ impl ScenarioRequest {
             analysis,
             faults,
             deadline_ms: if deadline == 0 { None } else { Some(deadline as u64) },
+            solver,
         })
     }
 }
@@ -370,6 +387,17 @@ mod tests {
         assert!(matches!(r.analysis, AnalysisSpec::Transient { .. }));
         assert_eq!(r.faults, FaultInjection::none());
         assert_eq!(r.deadline_ms, None);
+        assert_eq!(r.solver, None);
+    }
+
+    #[test]
+    fn solver_field_parses_the_shared_grammar() {
+        let r = ScenarioRequest::parse_line(r#"{"solver":"iterative"}"#, 0).unwrap();
+        assert_eq!(r.solver, Some(SolverKind::Iterative));
+        let r = ScenarioRequest::parse_line(r#"{"solver":"direct"}"#, 0).unwrap();
+        assert_eq!(r.solver, Some(SolverKind::Direct));
+        let r = ScenarioRequest::parse_line(r#"{"solver":null}"#, 0).unwrap();
+        assert_eq!(r.solver, None);
     }
 
     #[test]
@@ -416,6 +444,8 @@ mod tests {
             r#"{"analysis":"ac","f_start":5e9,"f_stop":1e6}"#,
             r#"{"faults":"all"}"#,
             r#"{"bits":"eight"}"#,
+            r#"{"solver":"qr"}"#,
+            r#"{"solver":3}"#,
         ] {
             let e = ScenarioRequest::parse_line(bad, 0).unwrap_err();
             assert_eq!(e.category(), "bad-request", "{bad} must be a schema error");

@@ -49,9 +49,11 @@ pub mod resistance;
 pub mod volume;
 
 mod config;
+mod error;
 mod parasitics;
 
 pub use captable::CapTable;
 pub use config::ExtractionConfig;
+pub use error::ExtractError;
 pub use impedance::ConductorSystem;
 pub use parasitics::{extract, Parasitics};

@@ -9,8 +9,35 @@
 //! bundle emerges from solving the coupled impedance system
 //! ([`crate::impedance`]). This is exactly FastHenry's discretization.
 
+use crate::ExtractError;
 use vpec_geometry::discretize::skin_depth;
 use vpec_geometry::Filament;
+
+/// Names the first non-physical dimension of a filament, if any — the
+/// upstream finiteness gate for the decomposition kernels, so a NaN
+/// width never reaches the inductance integrals.
+fn validate_filament(f: &Filament) -> Result<(), ExtractError> {
+    let reason = if !f.length.is_finite() {
+        "length is not finite"
+    } else if f.length <= 0.0 {
+        "length is not positive"
+    } else if !f.width.is_finite() {
+        "width is not finite"
+    } else if f.width <= 0.0 {
+        "width is not positive"
+    } else if !f.thickness.is_finite() {
+        "thickness is not finite"
+    } else if f.thickness <= 0.0 {
+        "thickness is not positive"
+    } else if !f.origin.iter().all(|c| c.is_finite()) {
+        "origin is not finite"
+    } else if !f.direction.is_finite() {
+        "direction is not finite"
+    } else {
+        return Ok(());
+    };
+    Err(ExtractError::NonPhysicalFilament { reason })
+}
 
 /// Splits a filament into an `nw × nt` bundle of parallel sub-filaments
 /// tiling its cross section (same axis, length and current direction).
@@ -20,12 +47,16 @@ use vpec_geometry::Filament;
 /// tile the original cross-section symmetrically about the original
 /// centerline.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `nw` or `nt` is zero or the filament is non-physical.
-pub fn decompose(f: &Filament, nw: usize, nt: usize) -> Vec<Filament> {
-    assert!(f.is_valid(), "filament has non-physical dimensions: {f:?}");
-    assert!(nw > 0 && nt > 0, "subdivision counts must be at least 1");
+/// [`ExtractError::NonPhysicalFilament`] if any dimension of `f` is
+/// NaN, infinite or non-positive; [`ExtractError::ZeroSubdivision`] if
+/// `nw` or `nt` is zero.
+pub fn try_decompose(f: &Filament, nw: usize, nt: usize) -> Result<Vec<Filament>, ExtractError> {
+    validate_filament(f)?;
+    if nw == 0 || nt == 0 {
+        return Err(ExtractError::ZeroSubdivision);
+    }
     let axis = f.axis.index();
     // The in-plane perpendicular axis: x→y, y→x, z→x (width direction).
     let width_axis = match axis {
@@ -49,7 +80,20 @@ pub fn decompose(f: &Filament, nw: usize, nt: usize) -> Vec<Filament> {
             );
         }
     }
-    out
+    Ok(out)
+}
+
+/// Panicking wrapper over [`try_decompose`] for callers with
+/// already-validated geometry (the extraction pipeline).
+///
+/// # Panics
+///
+/// Panics if `nw` or `nt` is zero or the filament is non-physical.
+pub fn decompose(f: &Filament, nw: usize, nt: usize) -> Vec<Filament> {
+    match try_decompose(f, nw, nt) {
+        Ok(subs) => subs,
+        Err(e) => panic!("{e}: {f:?}"),
+    }
 }
 
 /// Subdivision counts suggested by the skin-depth rule at `frequency`:
@@ -110,10 +154,10 @@ mod tests {
         let subs = decompose(&f, 2, 2);
         // y-offsets at ±1 µm, z-offsets at ±0.5 µm around the centerline.
         let mut ys: Vec<f64> = subs.iter().map(|s| s.origin[1] * 1e6).collect();
-        ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ys.sort_by(f64::total_cmp);
         assert!((ys[0] + 1.0).abs() < 1e-9 && (ys[3] - 1.0).abs() < 1e-9);
         let mut zs: Vec<f64> = subs.iter().map(|s| s.origin[2] * 1e6).collect();
-        zs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        zs.sort_by(f64::total_cmp);
         assert!((zs[0] + 0.5).abs() < 1e-9 && (zs[3] - 0.5).abs() < 1e-9);
     }
 
@@ -161,5 +205,44 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_subdivision_rejected() {
         decompose(&thick_wire(), 0, 1);
+    }
+
+    #[test]
+    fn non_finite_filament_is_a_typed_error() {
+        // A NaN width used to sail into the decomposition (NaN compares
+        // false against every physicality bound) and poison the
+        // downstream inductance integrals; now it is rejected up front.
+        let mut f = thick_wire();
+        f.width = f64::NAN;
+        assert_eq!(
+            try_decompose(&f, 2, 2).unwrap_err(),
+            ExtractError::NonPhysicalFilament {
+                reason: "width is not finite"
+            }
+        );
+        f.width = f64::INFINITY;
+        assert!(try_decompose(&f, 2, 2).is_err());
+        let mut g = thick_wire();
+        g.origin[2] = f64::NAN;
+        assert_eq!(
+            try_decompose(&g, 1, 1).unwrap_err(),
+            ExtractError::NonPhysicalFilament {
+                reason: "origin is not finite"
+            }
+        );
+        let mut h = thick_wire();
+        h.length = -um(1.0);
+        assert_eq!(
+            try_decompose(&h, 1, 1).unwrap_err(),
+            ExtractError::NonPhysicalFilament {
+                reason: "length is not positive"
+            }
+        );
+        assert_eq!(
+            try_decompose(&thick_wire(), 2, 0).unwrap_err(),
+            ExtractError::ZeroSubdivision
+        );
+        // The happy path is unchanged.
+        assert_eq!(try_decompose(&thick_wire(), 4, 2).unwrap().len(), 8);
     }
 }

@@ -145,10 +145,25 @@ impl SpiralSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `turns == 0` or the geometry self-intersects (innermost
-    /// side would be non-positive).
+    /// Panics if `turns == 0`, any dimension is non-finite or
+    /// non-positive, or the geometry self-intersects (innermost side
+    /// would be non-positive).
     pub fn build(&self) -> Layout {
         assert!(self.turns > 0, "spiral must have at least one turn");
+        // The builder accepts raw f64 dimensions; a NaN here would make
+        // every apportionment quota NaN and the segment split arbitrary,
+        // so reject it before any arithmetic.
+        assert!(
+            self.outer_side.is_finite()
+                && self.outer_side > 0.0
+                && self.width.is_finite()
+                && self.width > 0.0
+                && self.spacing.is_finite()
+                && self.spacing >= 0.0
+                && self.thickness.is_finite()
+                && self.thickness > 0.0,
+            "spiral dimensions must be finite and positive: {self:?}"
+        );
         let sides = self.side_lengths();
         let innermost = *sides.last().expect("at least four sides");
         assert!(
@@ -171,7 +186,9 @@ impl SpiralSpec {
             fracs.push((quota - quota.floor(), i));
         }
         let mut assigned: usize = counts.iter().sum();
-        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Total order, largest remainder first; ties broken by side index
+        // so the apportionment is deterministic across platforms.
+        fracs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut k = 0;
         while assigned < target && k < fracs.len() {
             counts[fracs[k].1] += 1;
@@ -300,7 +317,36 @@ mod tests {
         // One-turn spiral: sides have equal length pairs; each filament
         // within a side must have identical length.
         let mut lens: Vec<f64> = l.filaments().iter().map(|f| f.length).collect();
-        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lens.sort_by(f64::total_cmp);
         assert!(lens[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nan_outer_side_rejected() {
+        // A NaN outer side used to produce NaN quotas, so the remainder
+        // sort (formerly `partial_cmp.unwrap_or(Equal)`) degenerated to
+        // input order and the segment split became arbitrary. It is now
+        // rejected before any apportionment arithmetic runs.
+        SpiralSpec::new(2).outer_side(f64::NAN).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_width_rejected() {
+        SpiralSpec::new(2).width(0.0).build();
+    }
+
+    #[test]
+    fn apportionment_is_deterministic_under_ties() {
+        // Equal-length sides give pairwise-equal remainders; the tie
+        // break on side index must distribute the extra segments to the
+        // earliest sides every time.
+        let a = SpiralSpec::new(2).target_segments(26).build();
+        let b = SpiralSpec::new(2).target_segments(26).build();
+        let la: Vec<f64> = a.filaments().iter().map(|f| f.length).collect();
+        let lb: Vec<f64> = b.filaments().iter().map(|f| f.length).collect();
+        assert_eq!(la, lb);
+        assert_eq!(a.filaments().len(), 26);
     }
 }

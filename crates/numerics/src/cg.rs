@@ -1,0 +1,173 @@
+//! Preconditioned conjugate gradients for SPD systems.
+//!
+//! The VPEC circuit matrix `Ĝ = Dₗ L⁻¹ Dₗ` inherits symmetric positive
+//! definiteness from `L`, so its solves can use CG: one matvec and one
+//! preconditioner application per iteration, three vectors of state, no
+//! restart bookkeeping. Convergence is monitored on the normwise
+//! backward error of the recurrence residual (see
+//! [`IterConfig::rel_tol`]).
+
+use crate::gmres::{IterConfig, IterStats};
+use crate::operator::LinearOperator;
+use crate::precond::Preconditioner;
+use crate::vector::{axpy, dot, norm2};
+use crate::NumericsError;
+
+/// Solves the SPD system `A·x = b` by preconditioned CG from `x = 0`.
+/// The preconditioner must itself be symmetric positive definite for the
+/// method to be well-defined (Jacobi and ILU(0)/IC on an SPD matrix
+/// qualify). `cfg.restart` is ignored. As with [`crate::gmres`], an
+/// exhausted budget is reported via `stats.converged == false`.
+///
+/// # Errors
+///
+/// [`NumericsError::DimensionMismatch`] on shape disagreement;
+/// [`NumericsError::NotPositiveDefinite`] when a curvature `pᵀAp ≤ 0`
+/// exposes a non-SPD operator (the failing iteration is reported as the
+/// row); [`NumericsError::NonFinite`] if the iteration produces NaN/∞.
+pub fn cg(
+    a: &dyn LinearOperator,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    cfg: &IterConfig,
+) -> Result<(Vec<f64>, IterStats), NumericsError> {
+    let n = a.dim();
+    if b.len() != n || m.dim() != n {
+        return Err(NumericsError::DimensionMismatch {
+            op: "cg",
+            expected: (n, 1),
+            found: (b.len().max(m.dim()), 1),
+        });
+    }
+    let bnorm = norm2(b);
+    let mut x = vec![0.0; n];
+    let mut stats = IterStats::default();
+    if bnorm == 0.0 {
+        stats.converged = true;
+        return Ok((x, stats));
+    }
+    if !bnorm.is_finite() {
+        return Err(NumericsError::NonFinite {
+            op: "cg",
+            index: (0, 0),
+        });
+    }
+
+    let anorm = a.norm_inf_est();
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    m.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    stats.rel_residual = 1.0;
+    while stats.iterations < cfg.max_iters {
+        stats.iterations += 1;
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if !pap.is_finite() {
+            return Err(NumericsError::NonFinite {
+                op: "cg",
+                index: (stats.iterations, 0),
+            });
+        }
+        if pap <= 0.0 {
+            return Err(NumericsError::NotPositiveDefinite {
+                row: stats.iterations,
+            });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        // Normwise backward error (see `IterConfig::rel_tol`): the plain
+        // `‖b‖`-relative residual has an unattainable floor on stiff
+        // systems with `‖A‖‖x‖ ≫ ‖b‖`.
+        let denom = anorm.map_or(bnorm, |na| na * norm2(&x) + bnorm);
+        stats.rel_residual = norm2(&r) / denom;
+        if !stats.rel_residual.is_finite() {
+            return Err(NumericsError::NonFinite {
+                op: "cg",
+                index: (stats.iterations, 0),
+            });
+        }
+        if stats.rel_residual <= cfg.rel_tol {
+            stats.converged = true;
+            break;
+        }
+        m.apply(&r, &mut z);
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        for (pi, zi) in p.iter_mut().zip(z.iter()) {
+            *pi = zi + beta * *pi;
+        }
+    }
+    Ok((x, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{Ilu0Preconditioner, JacobiPreconditioner};
+    use crate::rng::XorShift64;
+    use crate::{CooMatrix, CsrMatrix};
+
+    fn spd(n: usize, seed: u64) -> CsrMatrix<f64> {
+        // Symmetric, strictly diagonally dominant ⇒ SPD.
+        let mut rng = XorShift64::new(seed);
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let mut offsum = 0.0;
+            for j in (i + 1)..(i + 4).min(n) {
+                let v = rng.range_f64(-1.0, 1.0);
+                coo.push(i, j, v).unwrap();
+                coo.push(j, i, v).unwrap();
+                offsum += v.abs();
+            }
+            coo.push(i, i, 3.0 + 2.0 * offsum).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn converges_with_jacobi_and_ilu0() {
+        let a = spd(64, 0xC6_0001);
+        let b: Vec<f64> = (0..64).map(|i| 1.0 + (i as f64 * 0.1).cos()).collect();
+        for precond in 0..2 {
+            let m: Box<dyn Preconditioner> = if precond == 0 {
+                Box::new(JacobiPreconditioner::from_csr(&a).unwrap())
+            } else {
+                Box::new(Ilu0Preconditioner::from_csr(&a).unwrap())
+            };
+            let (x, stats) = cg(&a, m.as_ref(), &b, &IterConfig::default()).unwrap();
+            assert!(stats.converged, "{}: {stats:?}", m.label());
+            let ax = a.matvec(&x).unwrap();
+            for (l, r) in ax.iter().zip(b.iter()) {
+                assert!((l - r).abs() < 1e-9, "{}", m.label());
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_operator_is_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        let a = coo.to_csr();
+        // Jacobi on an indefinite matrix flips the sign back, so drive the
+        // curvature test with the identity preconditioner.
+        let id = crate::precond::IdentityPreconditioner::new(2);
+        let err = cg(&a, &id, &[0.0, 1.0], &IterConfig::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::NotPositiveDefinite { .. }));
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = spd(8, 1);
+        let m = JacobiPreconditioner::from_csr(&a).unwrap();
+        let (x, stats) = cg(&a, &m, &[0.0; 8], &IterConfig::default()).unwrap();
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

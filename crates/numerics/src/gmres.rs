@@ -1,0 +1,309 @@
+//! Restarted GMRES with right preconditioning.
+//!
+//! The general-purpose Krylov solver for the (nonsymmetric) MNA systems:
+//! modified-Gram-Schmidt Arnoldi, Givens-rotation least squares, restart
+//! every `m` iterations with a true-residual convergence check at each
+//! restart boundary. Right preconditioning keeps the monitored residual
+//! in the original (unpreconditioned) norm, so the reported relative
+//! residual is directly comparable to the direct solvers' audit residual.
+
+use crate::operator::LinearOperator;
+use crate::precond::Preconditioner;
+use crate::vector::{axpy, dot, norm2, scale};
+use crate::NumericsError;
+
+/// Iteration controls shared by [`gmres`] and [`crate::cg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterConfig {
+    /// Total matrix-vector product budget across restarts.
+    pub max_iters: usize,
+    /// Krylov subspace dimension between restarts (GMRES only).
+    pub restart: usize,
+    /// Convergence threshold on the normwise backward error
+    /// `‖b − A·x‖ / (‖A‖∞·‖x‖ + ‖b‖)` — the same normalization the
+    /// direct solvers' audit residual uses. For operators without a norm
+    /// estimate ([`crate::LinearOperator::norm_inf_est`] returns `None`)
+    /// the denominator degrades to `‖b‖`.
+    pub rel_tol: f64,
+}
+
+impl Default for IterConfig {
+    fn default() -> Self {
+        IterConfig {
+            max_iters: 500,
+            restart: 64,
+            rel_tol: 1e-12,
+        }
+    }
+}
+
+/// What an iterative solve did, whether or not it converged.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterStats {
+    /// Matrix-vector products performed.
+    pub iterations: usize,
+    /// Restart cycles completed (GMRES) or zero (CG).
+    pub restarts: usize,
+    /// Final true normwise backward error
+    /// `‖b − A·x‖ / (‖A‖∞·‖x‖ + ‖b‖)` (or `‖b − A·x‖ / ‖b‖` when the
+    /// operator provides no norm estimate; identical at `x = 0`).
+    pub rel_residual: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// Solves `A·x = b` by restarted right-preconditioned GMRES, starting
+/// from `x = 0`. Returns the iterate and its statistics; an exhausted
+/// iteration budget is reported via `stats.converged == false`, not an
+/// error, so callers can decide between accepting, retrying, and falling
+/// through to another factorization strategy.
+///
+/// # Errors
+///
+/// [`NumericsError::DimensionMismatch`] on shape disagreement between
+/// `a`, `m`, and `b`; [`NumericsError::NonFinite`] if the iteration
+/// produces NaN/∞ (a singular or absurdly scaled preconditioner);
+/// [`NumericsError::Singular`] on a zero diagonal in the least-squares
+/// triangle (operator numerically singular on the Krylov subspace).
+pub fn gmres(
+    a: &dyn LinearOperator,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    cfg: &IterConfig,
+) -> Result<(Vec<f64>, IterStats), NumericsError> {
+    let n = a.dim();
+    if b.len() != n || m.dim() != n {
+        return Err(NumericsError::DimensionMismatch {
+            op: "gmres",
+            expected: (n, 1),
+            found: (b.len().max(m.dim()), 1),
+        });
+    }
+    let bnorm = norm2(b);
+    let mut x = vec![0.0; n];
+    let mut stats = IterStats::default();
+    if bnorm == 0.0 {
+        stats.converged = true;
+        return Ok((x, stats));
+    }
+    if !bnorm.is_finite() {
+        return Err(NumericsError::NonFinite {
+            op: "gmres",
+            index: (0, 0),
+        });
+    }
+    let mut restart = cfg.restart.clamp(1, n.max(1));
+    let anorm = a.norm_inf_est();
+    let mut r = vec![0.0; n];
+    let mut prev_beta = f64::INFINITY;
+    loop {
+        // True residual: r = b − A·x.
+        a.apply(&x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(b.iter()) {
+            *ri = bi - *ri;
+        }
+        let beta = norm2(&r);
+        // Stall escalation: restarted GMRES can stagnate when the
+        // Krylov dimension it needs exceeds the restart length — each
+        // cycle rebuilds nearly the same subspace and the truncation
+        // discards exactly the directions that would have converged.
+        // When a full cycle fails to halve the residual, double the
+        // restart length (up to `n`, where the method is exact); the
+        // overall work stays bounded by `cfg.max_iters`.
+        if beta > 0.5 * prev_beta {
+            restart = (restart * 2).min(n.max(1));
+        }
+        prev_beta = beta;
+        // Normwise backward error when the operator norm is known — the
+        // `‖b‖`-relative residual cannot reach a fixed tolerance on stiff
+        // systems where `‖A‖‖x‖ ≫ ‖b‖`.
+        let denom = anorm.map_or(bnorm, |na| na * norm2(&x) + bnorm);
+        stats.rel_residual = beta / denom;
+        if !stats.rel_residual.is_finite() {
+            return Err(NumericsError::NonFinite {
+                op: "gmres",
+                index: (stats.iterations, 0),
+            });
+        }
+        if stats.rel_residual <= cfg.rel_tol {
+            stats.converged = true;
+            return Ok((x, stats));
+        }
+        if stats.iterations >= cfg.max_iters {
+            return Ok((x, stats));
+        }
+
+        // One Arnoldi cycle of at most `restart` steps.
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
+        let mut z: Vec<Vec<f64>> = Vec::with_capacity(restart);
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(restart);
+        let mut cs: Vec<f64> = Vec::with_capacity(restart);
+        let mut sn: Vec<f64> = Vec::with_capacity(restart);
+        let mut g = vec![0.0; restart + 1];
+        g[0] = beta;
+        let mut first = r.clone();
+        scale(1.0 / beta, &mut first);
+        v.push(first);
+        let mut cols = 0;
+        for j in 0..restart {
+            if stats.iterations >= cfg.max_iters {
+                break;
+            }
+            stats.iterations += 1;
+            let mut zj = vec![0.0; n];
+            m.apply(&v[j], &mut zj);
+            let mut w = vec![0.0; n];
+            a.apply(&zj, &mut w);
+            z.push(zj);
+
+            // Modified Gram–Schmidt orthogonalization.
+            let mut hcol = vec![0.0; j + 2];
+            for (i, vi) in v.iter().enumerate() {
+                let hij = dot(&w, vi);
+                hcol[i] = hij;
+                axpy(-hij, vi, &mut w);
+            }
+            let hlast = norm2(&w);
+            hcol[j + 1] = hlast;
+            if hcol.iter().any(|c| !c.is_finite()) {
+                return Err(NumericsError::NonFinite {
+                    op: "gmres",
+                    index: (stats.iterations, j),
+                });
+            }
+
+            // Rotate the new column into upper-triangular form.
+            for i in 0..j {
+                let t = cs[i] * hcol[i] + sn[i] * hcol[i + 1];
+                hcol[i + 1] = -sn[i] * hcol[i] + cs[i] * hcol[i + 1];
+                hcol[i] = t;
+            }
+            let (c, s) = givens(hcol[j], hcol[j + 1]);
+            cs.push(c);
+            sn.push(s);
+            hcol[j] = c * hcol[j] + s * hcol[j + 1];
+            hcol[j + 1] = 0.0;
+            g[j + 1] = -s * g[j];
+            g[j] *= c;
+            h.push(hcol);
+            cols = j + 1;
+
+            let happy = hlast == 0.0;
+            if g[j + 1].abs() / bnorm <= cfg.rel_tol || happy {
+                break;
+            }
+            let mut next = w;
+            scale(1.0 / hlast, &mut next);
+            v.push(next);
+        }
+
+        // Back-substitute H·y = g and accumulate x += Σ yⱼ·zⱼ.
+        let mut y = vec![0.0; cols];
+        for i in (0..cols).rev() {
+            let mut acc = g[i];
+            for (k, yk) in y.iter().enumerate().take(cols).skip(i + 1) {
+                acc -= h[k][i] * yk;
+            }
+            if h[i][i] == 0.0 {
+                return Err(NumericsError::Singular { step: i });
+            }
+            y[i] = acc / h[i][i];
+        }
+        for (yj, zj) in y.iter().zip(z.iter()) {
+            axpy(*yj, zj, &mut x);
+        }
+        stats.restarts += 1;
+    }
+}
+
+/// A Givens rotation `(c, s)` zeroing `b` against `a`.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else {
+        let r = a.hypot(b);
+        (a / r, b / r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPreconditioner, JacobiPreconditioner};
+    use crate::{CooMatrix, CsrMatrix};
+
+    fn laplacian(n: usize) -> CsrMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.5).unwrap();
+            if i > 0 {
+                coo.push(i, i - 1, -1.0).unwrap();
+            }
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0).unwrap();
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn converges_on_a_laplacian() {
+        let a = laplacian(50);
+        let b = vec![1.0; 50];
+        let m = IdentityPreconditioner::new(50);
+        let (x, stats) = gmres(&a, &m, &b, &IterConfig::default()).unwrap();
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.rel_residual <= 1e-12);
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(b.iter()) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn restarting_still_converges() {
+        let a = laplacian(60);
+        let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).sin()).collect();
+        let m = JacobiPreconditioner::from_csr(&a).unwrap();
+        let cfg = IterConfig {
+            restart: 5,
+            ..IterConfig::default()
+        };
+        let (_, stats) = gmres(&a, &m, &b, &cfg).unwrap();
+        assert!(stats.converged, "{stats:?}");
+        assert!(stats.restarts >= 1, "restart path must be exercised");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_without_iterating() {
+        let a = laplacian(8);
+        let m = IdentityPreconditioner::new(8);
+        let (x, stats) = gmres(&a, &m, &[0.0; 8], &IterConfig::default()).unwrap();
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_an_error() {
+        let a = laplacian(40);
+        let m = IdentityPreconditioner::new(40);
+        let cfg = IterConfig {
+            max_iters: 2,
+            restart: 2,
+            rel_tol: 1e-14,
+        };
+        let (_, stats) = gmres(&a, &m, &vec![1.0; 40], &cfg).unwrap();
+        assert!(!stats.converged);
+        assert!(stats.iterations <= 2);
+        assert!(stats.rel_residual > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = laplacian(4);
+        let m = IdentityPreconditioner::new(4);
+        let err = gmres(&a, &m, &[1.0; 3], &IterConfig::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::DimensionMismatch { .. }));
+    }
+}

@@ -38,16 +38,20 @@
 
 pub mod audit;
 pub mod cancel;
+mod cg;
 mod cholesky;
 mod complex;
 mod dense;
 pub mod eigen;
 mod error;
 pub mod fault;
+mod gmres;
 mod kernel;
 mod lu;
+mod operator;
 pub mod ordering;
 pub mod pool;
+mod precond;
 pub mod probe;
 pub mod rng;
 mod scalar;
@@ -57,13 +61,20 @@ pub mod tune;
 mod vector;
 
 pub use cancel::CancelToken;
+pub use cg::cg;
 pub use cholesky::Cholesky;
 pub use complex::Complex64;
 pub use dense::DenseMatrix;
 pub use error::NumericsError;
 pub use fault::FaultInjection;
+pub use gmres::{gmres, IterConfig, IterStats};
 pub use lu::LuFactor;
+pub use operator::LinearOperator;
 pub use pool::Pool;
+pub use precond::{
+    IdentityPreconditioner, Ilu0Preconditioner, IlutPreconditioner, JacobiPreconditioner,
+    Preconditioner, WvpecPreconditioner,
+};
 pub use probe::{condition_estimate, solve_regularized, spd_probe, SpdProbe};
 pub use scalar::Scalar;
 pub use sparse::{CooMatrix, CsrMatrix};
