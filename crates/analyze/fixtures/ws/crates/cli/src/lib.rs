@@ -1,0 +1,9 @@
+//! Fixture usage text. Documented variables: VPEC_FIX_THREADS.
+
+pub fn threads() -> Option<String> {
+    std::env::var("VPEC_FIX_THREADS").ok()
+}
+
+pub fn documented() -> Option<String> {
+    std::env::var("VPEC_FIX_THREADS").ok()
+}

@@ -1,0 +1,22 @@
+//! panic-freedom fixtures.
+
+pub fn bad(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn worse() -> u32 {
+    panic!("boom")
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert_eq!(super::fine(None), 0);
+        let _ = Some(3).unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+//! Waiver-hygiene fixtures: one malformed, one unused.
+
+// vpec-allow: panic-freedom
+pub fn missing_reason() {}
+
+// vpec-allow: nan-ordering -- stale: the sort moved elsewhere
+pub fn unused_waiver() {}

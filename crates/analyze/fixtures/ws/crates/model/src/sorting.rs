@@ -1,0 +1,24 @@
+//! nan-ordering fixtures: two positives, traps that must stay silent.
+
+pub fn order(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// `total_cmp` is the sanctioned comparator.
+pub fn order_ok(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}
+
+// Mentioning partial_cmp in a comment is not a finding.
+pub fn trap() -> &'static str {
+    "v.sort_by(|a, b| a.partial_cmp(b).unwrap())"
+}
+
+pub fn max_of(v: &[f64]) -> Option<f64> {
+    v.iter().copied().max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+pub fn waived(x: f64, y: f64) -> bool {
+    // vpec-allow: nan-ordering -- NaN must compare not-Greater and count as a violation
+    x.partial_cmp(&y) != Some(std::cmp::Ordering::Greater)
+}

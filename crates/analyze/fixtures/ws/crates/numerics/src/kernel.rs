@@ -1,0 +1,23 @@
+//! numerical-class fixtures: kernel module, markers mandatory.
+
+/// Sums with four accumulators.
+///
+/// Numerical class: audited-close.
+pub fn dotx(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Numerical class: bit-identical.
+pub fn bump(a: &mut [f64]) {
+    for x in a.iter_mut() {
+        *x += 1.0;
+    }
+}
+
+/// Numerical class: bit-identical.
+pub fn caller(a: &mut [f64]) -> f64 {
+    bump(a);
+    dotx(a)
+}
+
+pub fn unmarked() {}

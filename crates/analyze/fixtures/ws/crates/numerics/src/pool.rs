@@ -1,0 +1,21 @@
+//! unsafe-audit fixtures: allowlisted module with a pinned count of 1.
+
+#[allow(unsafe_code)]
+pub mod inner {
+    /// Reads through a raw pointer.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees `p` is valid for reads.
+    pub unsafe fn read(p: *const u8) -> u8 {
+        // SAFETY: contract delegated to the caller above.
+        unsafe { *p }
+    }
+
+    pub fn bad(p: *const u8) -> u8 {
+        //
+        //
+        //
+        unsafe { *p }
+    }
+}

@@ -1,0 +1,13 @@
+//! Outside the panic-freedom crates: unwrap is fine, unsafe is not.
+
+pub fn free_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn sneaky(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn secret() -> Option<String> {
+    std::env::var("VPEC_FIX_SECRET").ok()
+}

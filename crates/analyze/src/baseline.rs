@@ -1,0 +1,228 @@
+//! The committed baseline of grandfathered findings.
+//!
+//! The gate is "no *new* violations": findings present when a lint was
+//! introduced are recorded here and stop counting against the build,
+//! while anything not in the file fails it. Entries are keyed by
+//! `(lint, file, fingerprint-of-trimmed-source-line)` rather than line
+//! numbers, so unrelated edits above a grandfathered site do not orphan
+//! its entry. One entry covers every identical occurrence of that line
+//! in the file (a deliberate trade: content keys survive refactors,
+//! exact duplicates of an already-grandfathered line are rare).
+//!
+//! Format — one entry per line, tab-separated, sorted bytewise, no
+//! duplicates (both validated on load):
+//!
+//! ```text
+//! <lint-name>\t<root-relative-path>\t<fingerprint-hex16>\t<trimmed snippet…>
+//! ```
+//!
+//! The snippet column is advisory context for humans reading diffs; only
+//! the first three columns are matched. Regenerate with
+//! `vpec-analyze --write-baseline` (or `vpec lint --write-baseline`).
+
+use crate::diag::{fnv1a, Finding, LintId};
+use std::collections::BTreeSet;
+
+/// Header comment written at the top of every generated baseline.
+const HEADER: &str = "# vpec-analyze baseline — grandfathered findings. The lint gate fails only\n\
+                      # on findings NOT listed here. Do not add entries by hand: fix the finding,\n\
+                      # waive it inline with a reason, or regenerate via --write-baseline.\n\
+                      # Format: lint<TAB>file<TAB>fingerprint<TAB>snippet (sorted, deduped).\n";
+
+/// A parsed baseline: the set of grandfathered `(lint, file, fingerprint)`
+/// keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(LintId, String, u64)>,
+}
+
+/// A malformed baseline file. The gate treats this as a hard error — a
+/// corrupt baseline silently grandfathers nothing (or everything).
+#[derive(Debug, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the offending entry (0 = file-level problem).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// The baseline key of a finding.
+pub fn key_of(f: &Finding) -> (LintId, String, u64) {
+    (f.lint, f.file.clone(), fnv1a(&f.snippet))
+}
+
+impl Baseline {
+    /// Parses baseline text, validating entry shape, lint names, sort
+    /// order and uniqueness.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries = BTreeSet::new();
+        let mut prev: Option<&str> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if raw.trim().is_empty() || raw.starts_with('#') {
+                continue;
+            }
+            let mut cols = raw.splitn(4, '\t');
+            let (lint, file, fp) = match (cols.next(), cols.next(), cols.next()) {
+                (Some(l), Some(f), Some(h)) if !f.is_empty() => (l, f, h),
+                _ => {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: format!(
+                            "expected `lint<TAB>file<TAB>fingerprint[<TAB>snippet]`, got `{raw}`"
+                        ),
+                    })
+                }
+            };
+            let lint = LintId::parse(lint).ok_or_else(|| BaselineError {
+                line: lineno,
+                message: format!("unknown lint `{lint}`"),
+            })?;
+            let fp = u64::from_str_radix(fp, 16).map_err(|_| BaselineError {
+                line: lineno,
+                message: format!("fingerprint `{fp}` is not 16 hex digits"),
+            })?;
+            if let Some(p) = prev {
+                if p >= raw {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: if p == raw {
+                            format!("duplicate entry `{raw}`")
+                        } else {
+                            "entries are not sorted (regenerate with --write-baseline)".to_string()
+                        },
+                    });
+                }
+            }
+            prev = Some(raw);
+            if !entries.insert((lint, file.to_string(), fp)) {
+                // Same key with a different snippet column.
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("duplicate entry for {} {} {fp:016x}", lint, file),
+                });
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Whether `f` is grandfathered.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.entries.contains(&key_of(f))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Serializes `findings` as a baseline file: header, then one sorted,
+/// deduplicated entry per distinct key. Waiver-hygiene findings are never
+/// baselined — they must be fixed at the waiver.
+pub fn render(findings: &[Finding]) -> String {
+    let mut lines: BTreeSet<String> = BTreeSet::new();
+    for f in findings {
+        if f.lint == LintId::Waiver {
+            continue;
+        }
+        lines.insert(format!(
+            "{}\t{}\t{:016x}\t{}",
+            f.lint,
+            f.file,
+            fnv1a(&f.snippet),
+            f.snippet
+        ));
+    }
+    let mut out = String::from(HEADER);
+    for l in &lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn finding(lint: LintId, file: &str, snippet: &str) -> Finding {
+        Finding {
+            lint,
+            severity: Severity::Deny,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let fs = vec![
+            finding(LintId::PanicFreedom, "crates/a/src/lib.rs", "x.unwrap();"),
+            finding(LintId::NanOrdering, "crates/b/src/lib.rs", "a.partial_cmp(b)"),
+        ];
+        let text = render(&fs);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(b.contains(&fs[0]));
+        assert!(b.contains(&fs[1]));
+        assert!(!b.contains(&finding(LintId::PanicFreedom, "crates/a/src/lib.rs", "y.unwrap();")));
+        // Rendering what the baseline matched is idempotent.
+        assert_eq!(render(&fs), text);
+    }
+
+    #[test]
+    fn identical_findings_dedupe_to_one_entry() {
+        let f = finding(LintId::PanicFreedom, "f.rs", "x.unwrap();");
+        let text = render(&[f.clone(), f.clone()]);
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 1);
+    }
+
+    #[test]
+    fn waiver_findings_are_never_baselined() {
+        let text = render(&[finding(LintId::Waiver, "f.rs", "// vpec-allow: x")]);
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 0);
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        let text = "panic-freedom\tb.rs\t0000000000000001\ts\n\
+                    panic-freedom\ta.rs\t0000000000000001\ts\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.message.contains("not sorted"), "{}", err.message);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_junk() {
+        let text = "panic-freedom\ta.rs\t0000000000000001\ts\n\
+                    panic-freedom\ta.rs\t0000000000000001\ts\n";
+        assert!(Baseline::parse(text).unwrap_err().message.contains("duplicate"));
+        assert!(Baseline::parse("just one column\n").is_err());
+        assert!(Baseline::parse("no-such-lint\ta.rs\t0000000000000001\ts\n").is_err());
+        assert!(Baseline::parse("panic-freedom\ta.rs\tnothex\ts\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let b = Baseline::parse("# header\n\n# more\n").unwrap();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,485 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with byte spans and line/column positions
+//! — just enough structure for lexical lints to tell *code* apart from
+//! *text*: string literals (including raw strings with any number of `#`
+//! guards and byte strings), nested block comments, line comments, char
+//! literals vs. lifetimes, and numeric literals. It deliberately does not
+//! parse: the lints that need structure (brace-matched bodies,
+//! `#[cfg(test)]` regions) reconstruct it from the token stream, where
+//! braces inside strings and comments can no longer confuse them.
+
+/// Token classification. Comments are kept as tokens — waivers,
+/// `// SAFETY:` audits and numerical-class markers all live in them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (not a char literal).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    CharLit,
+    /// A string literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// A numeric literal.
+    Number,
+    /// `// …` to end of line (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting tracked (includes `/** … */` doc comments).
+    BlockComment,
+    /// Any other single character of punctuation.
+    Punct,
+}
+
+/// One token: kind plus position. Text is recovered from the source via
+/// [`Tok::text`] so the stream stays compact.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+    /// 1-based line of the last character (≠ `line` only for block
+    /// comments and multi-line strings).
+    pub end_line: u32,
+}
+
+impl Tok {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// extend to end of input, and unrecognized bytes become `Punct` tokens —
+/// a linter must degrade gracefully on code that does not compile yet.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line/column. Multi-byte UTF-8
+    /// continuation bytes do not advance the column.
+    fn bump(&mut self) {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if (b & 0xC0) != 0x80 {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.bytes.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.push(Tok {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+            end_line: self.line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump_n(2);
+                    let mut depth = 1usize;
+                    while self.pos < self.bytes.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump_n(2);
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump_n(2);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.emit(TokKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.quoted_string();
+                    self.emit(TokKind::StrLit, start, line, col);
+                }
+                b'\'' => self.char_or_lifetime(start, line, col),
+                b'r' | b'b' if self.raw_or_byte_literal(start, line, col) => {}
+                _ if is_ident_start(b) => {
+                    while self.pos < self.bytes.len() && is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.emit(TokKind::Ident, start, line, col);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number();
+                    self.emit(TokKind::Number, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes a `"…"` string starting at the opening quote.
+    fn quoted_string(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes `r"…"` / `r#"…"#` (any guard count) starting at `r`.
+    fn raw_string(&mut self) {
+        self.bump(); // 'r'
+        let mut guards = 0usize;
+        while self.peek(0) == b'#' {
+            guards += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            return; // raw identifier handled by caller; should not happen
+        }
+        self.bump();
+        loop {
+            if self.pos >= self.bytes.len() {
+                return;
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for g in 0..guards {
+                    if self.peek(1 + g) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.bump_n(1 + guards);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Handles the `r`/`b` prefixes: raw strings (`r"`, `r#"`), raw
+    /// identifiers (`r#ident`), byte strings (`b"`, `br"`, `br#"`) and
+    /// byte chars (`b'x'`). Returns `false` when the prefix turns out to
+    /// start a plain identifier, leaving the position untouched.
+    fn raw_or_byte_literal(&mut self, start: usize, line: u32, col: u32) -> bool {
+        let b0 = self.peek(0);
+        if b0 == b'r' {
+            if self.peek(1) == b'"' {
+                self.raw_string();
+                self.emit(TokKind::StrLit, start, line, col);
+                return true;
+            }
+            if self.peek(1) == b'#' {
+                // `r#"` (raw string) vs `r#ident` (raw identifier).
+                let mut i = 1;
+                while self.peek(i) == b'#' {
+                    i += 1;
+                }
+                if self.peek(i) == b'"' {
+                    self.raw_string();
+                    self.emit(TokKind::StrLit, start, line, col);
+                    return true;
+                }
+                if is_ident_start(self.peek(2)) {
+                    self.bump_n(2);
+                    while self.pos < self.bytes.len() && is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.emit(TokKind::Ident, start, line, col);
+                    return true;
+                }
+            }
+            return false;
+        }
+        // b0 == b'b'
+        match self.peek(1) {
+            b'"' => {
+                self.bump(); // 'b'
+                self.quoted_string();
+                self.emit(TokKind::StrLit, start, line, col);
+                true
+            }
+            b'\'' => {
+                self.bump(); // 'b'
+                self.char_literal();
+                self.emit(TokKind::CharLit, start, line, col);
+                true
+            }
+            b'r' if self.peek(2) == b'"' || self.peek(2) == b'#' => {
+                self.bump(); // 'b'
+                self.raw_string();
+                self.emit(TokKind::StrLit, start, line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a char literal starting at the opening `'` — the caller
+    /// has already decided it is not a lifetime.
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        if self.peek(0) == b'\\' {
+            self.bump_n(2);
+            // Escapes like \u{1F600} contain more; consume to closing '.
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else if self.pos < self.bytes.len() {
+            self.bump(); // the character (first byte bumps cover UTF-8 via loop below)
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos] & 0xC0) == 0x80
+            {
+                self.bump();
+            }
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
+    fn char_or_lifetime(&mut self, start: usize, line: u32, col: u32) {
+        let n1 = self.peek(1);
+        let is_lifetime = n1 != b'\\'
+            && is_ident_start(n1)
+            && {
+                // `'a'` is a char; `'a,` / `'a>` / `'static` are lifetimes.
+                let mut i = 2;
+                while is_ident_continue(self.peek(i)) {
+                    i += 1;
+                }
+                self.peek(i) != b'\''
+            };
+        if is_lifetime {
+            self.bump(); // '
+            while self.pos < self.bytes.len() && is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.emit(TokKind::Lifetime, start, line, col);
+        } else {
+            self.char_literal();
+            self.emit(TokKind::CharLit, start, line, col);
+        }
+    }
+
+    /// Consumes a numeric literal. Precision is not needed — only that
+    /// `0..n` does not swallow the range operator and `1.0e-3` stays one
+    /// token.
+    fn number(&mut self) {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                if (b == b'e' || b == b'E')
+                    && (self.peek(1) == b'+' || self.peek(1) == b'-')
+                    && self.peek(2).is_ascii_digit()
+                {
+                    self.bump_n(2);
+                    continue;
+                }
+                self.bump();
+            } else if b == b'.' && self.peek(1).is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Strips the quotes (and any raw-string guards / byte prefixes) off a
+/// string-literal token's text, returning the content.
+pub fn str_content(text: &str) -> &str {
+    let mut s = text;
+    s = s.strip_prefix('b').unwrap_or(s);
+    s = s.strip_prefix('r').unwrap_or(s);
+    let guards = s.bytes().take_while(|&b| b == b'#').count();
+    s = &s[guards..];
+    s = s.strip_prefix('"').unwrap_or(s);
+    let tail_guard = s.len().saturating_sub(guards);
+    if s.get(tail_guard..).is_some_and(|t| t.bytes().all(|b| b == b'#')) {
+        s = &s[..tail_guard];
+    }
+    s.strip_suffix('"').unwrap_or(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let ks = kinds("let x = 42 + y_2;");
+        let idents: Vec<_> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y_2"]);
+        assert!(ks.contains(&(TokKind::Number, "42".to_string())));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = r#"let s = "partial_cmp inside a string"; call();"#;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t.contains("partial_cmp")));
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "partial_cmp"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r##"let s = r#"unwrap() "quoted" inside"#; next"##;
+        let ks = kinds(src);
+        let lit = ks.iter().find(|(k, _)| *k == TokKind::StrLit).unwrap();
+        assert!(lit.1.contains("quoted"));
+        assert_eq!(ks.last().unwrap().1, "next");
+        assert_eq!(str_content(&lit.1), r#"unwrap() "quoted" inside"#);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ks = kinds(r#"let a = b"bytes"; let c = b'\n';"#);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::StrLit && t.starts_with("b\"")));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::CharLit && t.starts_with("b'")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ code";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert!(ks[0].1.contains("inner unwrap()"));
+        assert_eq!(ks[1], (TokKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "'x'"));
+        let ks = kinds(r"let c = '\''; let s: &'static str = x;");
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::CharLit && t == r"'\''"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let src = "a\n  bb\n";
+        let ts = lex(src);
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_floats() {
+        let ks = kinds("for i in 0..n { x[i] = 1.5e-3; }");
+        assert!(ks.contains(&(TokKind::Number, "0".to_string())));
+        assert!(ks.contains(&(TokKind::Number, "1.5e-3".to_string())));
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_end_line() {
+        let src = "/* one\ntwo\nthree */ x";
+        let ts = lex(src);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[0].end_line, 3);
+        assert_eq!(ts[1].line, 3);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        lex("let s = \"unterminated");
+        lex("/* unterminated");
+        lex("let c = '");
+        lex("r#\"unterminated");
+    }
+}

@@ -1,0 +1,234 @@
+//! Token-level structure recovery: `#[cfg(test)]` regions, delimiter
+//! matching and function-body extraction.
+//!
+//! Working on the token stream (not raw text) means braces inside
+//! strings, chars and comments can no longer unbalance anything.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Returns true for tokens that are code (not comments).
+pub fn is_code(t: &Tok) -> bool {
+    t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment
+}
+
+/// Index of the next code token at or after `i`, if any.
+pub fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
+    (i..toks.len()).find(|&j| is_code(&toks[j]))
+}
+
+/// Given `toks[open]` an opening delimiter (`(`, `[` or `{`), returns the
+/// index of its matching closer, or `toks.len() - 1` if unbalanced input
+/// runs out first.
+pub fn match_delim(src: &str, toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text(src) {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            let txt = t.text(src);
+            if txt == o {
+                depth += 1;
+            } else if txt == c {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Byte ranges of test-only code: the item following `#[cfg(test)]` (or
+/// any `cfg(...)` attribute whose argument mentions `test`) and `#[test]`
+/// functions. An attribute followed by `{ … }` covers the braced body; an
+/// attribute followed by a `;`-terminated item covers up to the `;`.
+pub fn test_regions(src: &str, toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct && t.text(src) == "#" {
+            let Some(b) = next_code(toks, i + 1) else { break };
+            // `#![…]` inner attributes configure the enclosing scope, not
+            // a following item; skip them.
+            if toks[b].text(src) == "[" {
+                let close = match_delim(src, toks, b);
+                if attr_is_test(src, &toks[b + 1..close]) {
+                    let start = t.start;
+                    if let Some(end_idx) = item_end(src, toks, close + 1) {
+                        regions.push((start, toks[end_idx].end));
+                        i = end_idx + 1;
+                        continue;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    merge(regions)
+}
+
+/// Whether the attribute token slice (content between `[` and `]`)
+/// marks test-only code: `test`, `cfg(test)`, `cfg(all(test, …))`, ….
+fn attr_is_test(src: &str, attr: &[Tok]) -> bool {
+    let idents: Vec<&str> = attr
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text(src))
+        .collect();
+    match idents.as_slice() {
+        ["test"] => true,
+        [first, rest @ ..] if *first == "cfg" => rest.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Index of the token ending the item that starts at code-token position
+/// `from` (skipping further attributes): the `}` closing its first brace
+/// block, or the first `;` at depth zero, whichever comes first.
+fn item_end(src: &str, toks: &[Tok], from: usize) -> Option<usize> {
+    let mut i = from;
+    while let Some(j) = next_code(toks, i) {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text(src) {
+                // A follow-on attribute: skip it wholesale.
+                "#" => {
+                    let b = next_code(toks, j + 1)?;
+                    if toks[b].text(src) == "[" {
+                        i = match_delim(src, toks, b) + 1;
+                        continue;
+                    }
+                }
+                "{" => return Some(match_delim(src, toks, j)),
+                ";" => return Some(j),
+                // Delimited groups before the body (generics carry no
+                // braces; parameter lists / where-clause arrays do).
+                "(" | "[" => {
+                    i = match_delim(src, toks, j) + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        i = j + 1;
+    }
+    None
+}
+
+/// Merges overlapping/nested byte ranges.
+fn merge(mut regions: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    regions.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(regions.len());
+    for r in regions {
+        match out.last_mut() {
+            Some(last) if r.0 <= last.1 => last.1 = last.1.max(r.1),
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+/// Whether byte offset `pos` falls inside any of the (sorted) regions.
+pub fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
+    regions
+        .binary_search_by(|&(s, e)| {
+            if pos < s {
+                std::cmp::Ordering::Greater
+            } else if pos > e {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        })
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions_of(src: &str) -> Vec<(usize, usize)> {
+        test_regions(src, &lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let rs = regions_of(src);
+        assert_eq!(rs.len(), 1);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(in_regions(&rs, unwrap_at));
+        assert!(!in_regions(&rs, src.find("live").unwrap()));
+        assert!(!in_regions(&rs, src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn test_attribute_fn_is_a_region() {
+        let src = "#[test]\nfn check() { assert!(true); }\nfn live() {}\n";
+        let rs = regions_of(src);
+        assert!(in_regions(&rs, src.find("assert").unwrap()));
+        assert!(!in_regions(&rs, src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\nfn live() {}\n";
+        let rs = regions_of(src);
+        assert!(in_regions(&rs, src.find("fn f").unwrap()));
+        assert!(!in_regions(&rs, src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_still_counts_conservatively() {
+        // `cfg(not(test))` mentions test; treating it as a test region is
+        // the conservative direction for panic-freedom (fewer findings),
+        // and such gating is vanishingly rare in this workspace.
+        let src = "#[cfg(not(test))]\nfn f() {}\n";
+        assert_eq!(regions_of(src).len(), 1);
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_a_region() {
+        let src = "#[cfg(feature = \"simd\")]\nfn f() { x.unwrap(); }\n";
+        assert!(regions_of(src).is_empty());
+    }
+
+    #[test]
+    fn semicolon_items_end_at_semicolon() {
+        let src = "#[cfg(test)]\nuse helpers::*;\nfn live() {}\n";
+        let rs = regions_of(src);
+        assert_eq!(rs.len(), 1);
+        assert!(!in_regions(&rs, src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn attribute_stacks_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { body(); }\nfn live() {}\n";
+        let rs = regions_of(src);
+        assert!(in_regions(&rs, src.find("body").unwrap()));
+        assert!(!in_regions(&rs, src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_unbalance() {
+        let src = "#[cfg(test)]\nmod t { fn f() { let s = \"}}}\"; inner(); } }\nfn live() {}\n";
+        let rs = regions_of(src);
+        assert!(in_regions(&rs, src.find("inner").unwrap()));
+        assert!(!in_regions(&rs, src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn inner_attributes_do_not_consume_items() {
+        let src = "#![cfg(test)]\nfn f() {}\n";
+        // `#!` is an inner attribute: no following-item region.
+        assert!(regions_of(src).is_empty());
+    }
+}

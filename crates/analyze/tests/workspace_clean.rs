@@ -1,0 +1,59 @@
+//! Meta-test: the workspace itself is lint-clean against the committed
+//! baseline. This is the same gate `scripts/check.sh` runs via the
+//! `vpec-analyze` binary, enforced from `cargo test` too so a finding
+//! can never hide behind a skipped script.
+
+use std::path::PathBuf;
+use vpec_analyze::{engine, Baseline, Config};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint.baseline"))
+        .expect("lint.baseline is committed at the workspace root");
+    let baseline = Baseline::parse(&baseline_text).expect("committed baseline is well-formed");
+    let report = engine::run(&Config::for_workspace(root), &baseline).unwrap();
+    assert!(
+        !report.gate_fails(false),
+        "workspace has new lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the run actually scanned the tree.
+    assert!(report.files_scanned > 50, "only {} files", report.files_scanned);
+    assert!(report.lines_scanned > 10_000);
+}
+
+#[test]
+fn committed_baseline_has_no_orphan_entries() {
+    // Entries whose finding no longer exists should be pruned so the
+    // baseline only ever shrinks toward zero. An orphan is not a gate
+    // failure (the gate is one-sided by design) but this test keeps the
+    // inventory honest.
+    let root = workspace_root();
+    let baseline_text = std::fs::read_to_string(root.join("lint.baseline")).unwrap();
+    let baseline = Baseline::parse(&baseline_text).unwrap();
+    let report = engine::run(&Config::for_workspace(root), &baseline).unwrap();
+    assert_eq!(
+        report.baselined + report.findings.len(),
+        report.post_waiver.len(),
+        "baselined + new must account for every post-waiver finding"
+    );
+    let regenerated = vpec_analyze::baseline::render(&report.post_waiver);
+    assert_eq!(
+        regenerated.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count(),
+        baseline.len(),
+        "stale baseline: regenerate with `vpec lint --write-baseline`"
+    );
+}

@@ -34,6 +34,11 @@
 //! the sparse-first paths. Each column records which backend the fallback
 //! chain actually accepted plus the iteration count/residual, so a silent
 //! fallback cannot masquerade as an iterative win.
+//!
+//! A `lint` section times one full `vpec-analyze` pass over the workspace
+//! sources against the committed baseline — the same gate `scripts/check.sh`
+//! runs — and records the wall time plus files/lines scanned, so the
+//! static-analysis budget is a tracked number rather than a feeling.
 
 use std::time::Instant;
 use vpec_bench::report::{secs, speedup, Table};
@@ -153,6 +158,40 @@ struct CrossoverRow {
 
 /// Coupling window of the wVPEC model used by the crossover sweep.
 const CROSSOVER_WINDOW: usize = 8;
+
+/// One timed `vpec-analyze` pass over the workspace's own sources.
+struct LintReport {
+    wall_s: f64,
+    files_scanned: usize,
+    lines_scanned: usize,
+    new_findings: usize,
+    baselined: usize,
+    waived: usize,
+}
+
+/// Times the workspace static-analysis gate: lex + lint every Rust source
+/// against the committed `lint.baseline` (missing baseline = empty, so the
+/// bench still runs on a fresh checkout). Best-of-`reps` wall time; the
+/// counts come from the last run and are identical across runs.
+fn bench_lint(reps: usize) -> LintReport {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = std::fs::read_to_string(root.join("lint.baseline"))
+        .ok()
+        .and_then(|t| vpec_analyze::Baseline::parse(&t).ok())
+        .unwrap_or_default();
+    let cfg = vpec_analyze::Config::for_workspace(root);
+    let (report, wall_s) = best_of(reps, || {
+        vpec_analyze::engine::run(&cfg, &baseline).expect("workspace sources are readable")
+    });
+    LintReport {
+        wall_s,
+        files_scanned: report.files_scanned,
+        lines_scanned: report.lines_scanned,
+        new_findings: report.findings.len(),
+        baselined: report.baselined,
+        waived: report.waived,
+    }
+}
 
 /// Runs a short transient (factor + `steps` solves) on a sparse
 /// wVPEC-windowed bus model once per forced solver kind and records the
@@ -348,6 +387,7 @@ fn main() {
             bench_iterative_crossover(32, 28),
         ]
     };
+    let lint = bench_lint(if quick { 2 } else { 3 });
     // Leave the pool in its default (auto) state.
     pool::set_threads(0);
 
@@ -422,7 +462,27 @@ fn main() {
         print!("{}", table.render());
     }
 
-    let json = render_json(&reports, &cache, &factor_reuse, &crossover, hw, par_workers, quick);
+    println!(
+        "\nlint (vpec-analyze, workspace): {} over {} files / {} lines; \
+         {} new finding(s), {} baselined, {} waived",
+        secs(lint.wall_s),
+        lint.files_scanned,
+        lint.lines_scanned,
+        lint.new_findings,
+        lint.baselined,
+        lint.waived,
+    );
+
+    let json = render_json(
+        &reports,
+        &cache,
+        &factor_reuse,
+        &crossover,
+        &lint,
+        hw,
+        par_workers,
+        quick,
+    );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {
@@ -577,11 +637,13 @@ fn bench_pair<R>(reps: usize, par_workers: usize, f: impl Fn() -> R) -> ((R, R),
     ((r1, rp), (t1, tp))
 }
 
+#[allow(clippy::too_many_arguments)] // one flat call site; a params struct would only rename the problem
 fn render_json(
     reports: &[SizeReport],
     cache: &CacheReport,
     factor_reuse: &FactorReuseReport,
     crossover: &[CrossoverRow],
+    lint: &LintReport,
     hw: usize,
     par_workers: usize,
     quick: bool,
@@ -716,6 +778,14 @@ fn render_json(
         let comma = if i + 1 < crossover.len() { "," } else { "" };
         let _ = writeln!(out, "    }}{comma}");
     }
-    out.push_str("  ]\n}\n");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"lint\": {{");
+    let _ = writeln!(out, "    \"wall_seconds\": {:.6e},", lint.wall_s);
+    let _ = writeln!(out, "    \"files_scanned\": {},", lint.files_scanned);
+    let _ = writeln!(out, "    \"lines_scanned\": {},", lint.lines_scanned);
+    let _ = writeln!(out, "    \"new_findings\": {},", lint.new_findings);
+    let _ = writeln!(out, "    \"baselined\": {},", lint.baselined);
+    let _ = writeln!(out, "    \"waived\": {}", lint.waived);
+    out.push_str("  }\n}\n");
     out
 }

@@ -26,6 +26,8 @@ pub enum Command {
     Serve,
     /// `vpec tune` — measure machine-specific kernel dispatch thresholds.
     Tune,
+    /// `vpec lint` — run the workspace static-analysis gate.
+    Lint,
     /// `vpec help`
     Help,
 }
@@ -87,6 +89,13 @@ pub struct ParsedArgs {
     pub input: Option<String>,
     /// `tune --quick`: fewer repetitions, coarser (but faster) profile.
     pub quick: bool,
+    /// `lint --write-baseline`: regenerate the grandfathered-findings
+    /// file instead of gating.
+    pub write_baseline: bool,
+    /// `lint --strict`: warnings also fail the gate.
+    pub strict: bool,
+    /// `lint --root DIR`: workspace root to scan (default `.`).
+    pub lint_root: Option<String>,
     /// Resilience policy for `batch`/`serve`: deadline, admission
     /// budgets, retry/backoff, wVPEC degradation.
     pub engine: EngineConfig,
@@ -114,6 +123,9 @@ impl Default for ParsedArgs {
             solver: None,
             input: None,
             quick: false,
+            write_baseline: false,
+            strict: false,
+            lint_root: None,
             engine: EngineConfig::default(),
         }
     }
@@ -160,6 +172,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
         "batch" => Command::Batch,
         "serve" => Command::Serve,
         "tune" => Command::Tune,
+        "lint" => Command::Lint,
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(CliError::usage(format!("unknown command: {other}"))),
     };
@@ -240,6 +253,9 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
             }
             "--in" => out.input = Some(value("path")?.clone()),
             "--quick" => out.quick = true,
+            "--write-baseline" => out.write_baseline = true,
+            "--strict" => out.strict = true,
+            "--root" => out.lint_root = Some(value("directory")?.clone()),
             "--deadline-ms" => {
                 let ms: u64 = value("milliseconds")?
                     .parse()
@@ -473,6 +489,20 @@ mod tests {
         assert_eq!(err.code, 2);
         assert!(err.message.contains("unknown solver"), "{}", err.message);
         assert!(parse_args(&argv("simulate --solver")).is_err());
+    }
+
+    #[test]
+    fn parses_lint_flags() {
+        let a = parse_args(&argv("lint")).unwrap();
+        assert_eq!(a.command, Command::Lint);
+        assert!(!a.write_baseline);
+        assert!(!a.strict);
+        assert_eq!(a.lint_root, None);
+        let a = parse_args(&argv("lint --strict --root sub/dir --write-baseline")).unwrap();
+        assert!(a.write_baseline);
+        assert!(a.strict);
+        assert_eq!(a.lint_root.as_deref(), Some("sub/dir"));
+        assert!(parse_args(&argv("lint --root")).is_err());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!               [--max-dim 64] [--retries 2] [--no-degrade]
 //! vpec serve    [engine options]   # JSONL stdin -> stdout
 //! vpec tune     [--quick] [-o profile.tune]
+//! vpec lint     [--root DIR] [--strict] [--write-baseline]
 //! ```
 //!
 //! All numeric values accept SPICE magnitude suffixes (`1p`, `0.5n`,
@@ -77,6 +78,7 @@ COMMANDS:
   batch      run a JSONL scenario file through the resilient engine
   serve      stream JSONL scenarios: stdin -> stdout, one line each way
   tune       measure kernel-dispatch thresholds for this machine
+  lint       run the workspace static-analysis gate (vpec-analyze)
   help       show this text
 
 STRUCTURE (default: 8-bit bus with the paper's geometry):
@@ -175,6 +177,24 @@ TUNING:
   system dimension).
   Unset (or VPEC_TUNE=off) keeps the built-in defaults. Thresholds only
   move dispatch boundaries — results are unchanged at any setting.
+
+STATIC ANALYSIS:
+  `vpec lint` runs the project's own zero-dependency lint engine
+  (vpec-analyze) over the workspace sources: NaN-safe float ordering
+  (nan-ordering), panic freedom at the engine boundary (panic-freedom),
+  unsafe allowlisting with pinned counts (unsafe-audit), numerical-class
+  discipline for kernels (numerical-class) and the VPEC_* environment
+  registry (env-var-registry). Findings not in the committed
+  lint.baseline fail the gate; suppress a deliberate one inline with
+  `// vpec-allow: <lint> -- <reason>` (the reason is mandatory).
+
+  --root DIR        workspace root to scan (default .)
+  --strict          warnings also fail the gate
+  --write-baseline  regenerate lint.baseline from current findings
+
+  VPEC_LINT=off skips the pass entirely, VPEC_LINT=strict promotes
+  warnings to gate failures (same as --strict); unset or
+  VPEC_LINT=default is the normal gate. See DESIGN.md §14.
 
   With tracing enabled (--trace or VPEC_TRACE=summary|jsonl:PATH), every
   pipeline phase is timed as a hierarchical span: extract, model.invert,

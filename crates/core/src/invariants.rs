@@ -72,6 +72,7 @@ pub fn audit_parasitics(parasitics: &Parasitics) -> AuditReport {
             .iter()
             .enumerate()
             // NaN-safe: NaN compares as not-Greater, so it is flagged too.
+            // vpec-allow: nan-ordering -- partial order is the point: a NaN length must compare not-Greater and be flagged
             .find(|(_, &len)| len.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater))
             .map(|(i, &len)| AuditViolation {
                 matrix: "filament lengths".to_string(),

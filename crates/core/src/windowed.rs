@@ -72,12 +72,11 @@ pub fn windowed_geometric(parasitics: &Parasitics, b: usize) -> Result<VpecModel
     let mut windows = Vec::with_capacity(n);
     for m in 0..n {
         let mut others: Vec<usize> = (0..n).filter(|&j| j != m).collect();
-        others.sort_by(|&x, &y| {
-            l[(m, y)]
-                .abs()
-                .partial_cmp(&l[(m, x)].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // `total_cmp` keeps the ordering deterministic even for the NaN
+        // entries `validate_inductance` already rejects above; `abs()`
+        // never produces -0.0 here, so it agrees with the partial order
+        // on every value that can reach this sort.
+        others.sort_by(|&x, &y| l[(m, y)].abs().total_cmp(&l[(m, x)].abs()));
         let mut idx: Vec<usize> = std::iter::once(m)
             .chain(others.into_iter().take(b.saturating_sub(1)))
             .collect();
@@ -216,6 +215,32 @@ mod tests {
             .unwrap();
         let scale = full.g_matrix().max_abs();
         assert!(diff < 1e-9 * scale, "diff {diff} vs scale {scale}");
+    }
+
+    #[test]
+    fn geometric_window_selects_strongest_couplings_deterministically() {
+        // Regression for the comparator switch to `total_cmp`: window
+        // membership must still be conductor m plus its b−1 largest-|L|
+        // partners, and repeated builds must agree bit-for-bit.
+        let para = bus_parasitics(9);
+        let a = windowed_geometric(&para, 3).unwrap();
+        let b = windowed_geometric(&para, 3).unwrap();
+        assert_eq!(a.g_diag(), b.g_diag());
+        assert_eq!(a.g_off(), b.g_off());
+        // Inductive coupling on a uniform bus decays with distance, so
+        // the middle conductor's window is its two nearest neighbors:
+        // row 4 of Ĝ couples to exactly {3, 5}.
+        let mut partners: Vec<usize> = a
+            .g_off()
+            .iter()
+            .filter_map(|&(i, j, _)| match (i, j) {
+                (4, j) => Some(j),
+                (i, 4) => Some(i),
+                _ => None,
+            })
+            .collect();
+        partners.sort_unstable();
+        assert_eq!(partners, vec![3, 5], "window of the middle conductor");
     }
 
     #[test]

@@ -411,6 +411,7 @@ pub fn check_diag_dominant(name: &str, a: &DenseMatrix<f64>) -> Option<AuditViol
         let diag = a[(i, i)].abs();
         // NaN-safe: anything other than a definite `diag > off` is a
         // violation, including incomparable (NaN) entries.
+        // vpec-allow: nan-ordering -- partial order is the point: NaN must compare not-Greater and register as a violation
         if diag.partial_cmp(&off) != Some(std::cmp::Ordering::Greater) {
             return Some(AuditViolation {
                 matrix: name.to_string(),

@@ -106,6 +106,9 @@ impl Cholesky {
     /// # Errors
     ///
     /// Returns [`NumericsError::DimensionMismatch`] if `b.len() != dim()`.
+    ///
+    /// Numerical class: audited-close (the forward sweep reduces rows
+    /// with the four-accumulator [`kernel::dot4`]).
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
         let n = self.dim();
         if b.len() != n {

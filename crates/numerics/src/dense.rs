@@ -150,6 +150,9 @@ impl<T: Scalar> DenseMatrix<T> {
 
     /// Matrix–vector product `y = A·x`.
     ///
+    /// Numerical class: audited-close (each output element is a
+    /// four-accumulator [`kernel::dot4`] reassociation of the serial dot).
+    ///
     /// # Errors
     ///
     /// Returns [`NumericsError::DimensionMismatch`] if `x.len() != cols()`.
@@ -170,6 +173,9 @@ impl<T: Scalar> DenseMatrix<T> {
     }
 
     /// Matrix–matrix product `A·B`.
+    ///
+    /// Numerical class: bit-identical (ascending-k [`kernel::axpy4`]
+    /// updates, one rounded operation per term, at any thread count).
     ///
     /// # Errors
     ///

@@ -22,6 +22,8 @@ use crate::Scalar;
 /// The partial sums combine as `((s0 + s1) + (s2 + s3)) + tail`, a fixed
 /// reassociation of the serial left-to-right sum: deterministic for a
 /// given input, but *not* bit-identical to a single-accumulator loop.
+///
+/// Numerical class: audited-close.
 #[inline]
 pub(crate) fn dot4<T: Scalar>(a: &[T], b: &[T]) -> T {
     let m = a.len().min(b.len());
@@ -49,6 +51,8 @@ pub(crate) fn dot4<T: Scalar>(a: &[T], b: &[T]) -> T {
 /// per element, each its own rounded operation, exactly the sequence the
 /// unblocked k-at-a-time loop performs. One load/store of `c` covers four
 /// inner-dimension steps.
+///
+/// Numerical class: bit-identical.
 #[inline]
 pub(crate) fn axpy4<T: Scalar>(c: &mut [T], f: [T; 4], b0: &[T], b1: &[T], b2: &[T], b3: &[T]) {
     for ((((cj, &x0), &x1), &x2), &x3) in c.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
@@ -63,6 +67,8 @@ pub(crate) fn axpy4<T: Scalar>(c: &mut [T], f: [T; 4], b0: &[T], b1: &[T], b2: &
 
 /// The subtracting twin of [`axpy4`]: `c[j] -= f[s]·bs[j]` for four
 /// ascending elimination steps, one rounded operation per term.
+///
+/// Numerical class: bit-identical.
 #[inline]
 pub(crate) fn sub4<T: Scalar>(c: &mut [T], f: [T; 4], b0: &[T], b1: &[T], b2: &[T], b3: &[T]) {
     for ((((cj, &x0), &x1), &x2), &x3) in c.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {

@@ -30,9 +30,12 @@
 //! ```
 
 // `deny` rather than `forbid`: the striped elimination engine in
-// `pool` needs a single `#[allow(unsafe_code)]` escape hatch for its
-// row-disjoint shared-matrix view (see the safety protocol there).
-// Everything else in the workspace still rejects `unsafe`.
+// `pool` needs exactly three `#[allow(unsafe_code)]` escape hatches for
+// its row-disjoint shared-matrix view (the `shared_rows` module and the
+// two striped eliminations; see the safety protocol there). The count is
+// pinned by the `unsafe-audit` lint (`vpec lint`) — changing it means
+// updating `vpec_analyze::Config::for_workspace` and this comment
+// together. Everything else in the workspace still rejects `unsafe`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -142,6 +142,8 @@ impl<T: Scalar> LuFactor<T> {
     /// Both sweeps reduce a row slice against the solved prefix/suffix of
     /// `x` with the four-accumulator [`kernel::dot4`] — an audited-close
     /// reassociation of the serial sum, deterministic for a given input.
+    ///
+    /// Numerical class: audited-close.
     fn substitute_in_place(&self, x: &mut [T]) {
         let n = x.len();
         for i in 1..n {

@@ -157,8 +157,8 @@ mod tests {
         let row_sum = |m: &CsrMatrix<f64>, i: usize| -> f64 { m.row(i).1.iter().sum() };
         let mut sa: Vec<f64> = (0..8).map(|i| row_sum(&a, i)).collect();
         let mut sb: Vec<f64> = (0..8).map(|i| row_sum(&b, i)).collect();
-        sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sa.sort_by(|x, y| x.total_cmp(y));
+        sb.sort_by(|x, y| x.total_cmp(y));
         assert_eq!(sa, sb);
     }
 

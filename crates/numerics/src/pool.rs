@@ -488,6 +488,8 @@ pub(crate) fn lu_eliminate_serial<T: Scalar>(
 /// operations on *disjoint* elements, and pivot columns live inside the
 /// panel so pivot choices coincide. The parallel trailing update
 /// partitions whole rows, so results do not depend on the worker count.
+///
+/// Numerical class: bit-identical.
 pub(crate) fn lu_eliminate_blocked<T: Scalar>(
     data: &mut [T],
     n: usize,
@@ -702,6 +704,8 @@ pub(crate) fn cholesky_eliminate_serial(
 /// four accumulators) reassociates the floating-point summation. The
 /// reassociation is fixed by `n`, `nb`, and the input alone — rows are
 /// partitioned whole, so the result is the same for any worker count.
+///
+/// Numerical class: audited-close.
 pub(crate) fn cholesky_eliminate_blocked(
     a: &[f64],
     g: &mut [f64],
@@ -883,6 +887,8 @@ pub(crate) fn lu_eliminate_striped<T: Scalar>(
                         let mut pivot_row = k;
                         let mut pivot_mag = unsafe { shared.row(k) }[k].modulus();
                         for i in (k + 1)..n {
+                            // SAFETY: same exclusivity — workers are still
+                            // parked at the barrier during the pivot scan.
                             let mag = unsafe { shared.row(i) }[k].modulus();
                             if mag > pivot_mag {
                                 pivot_mag = mag;

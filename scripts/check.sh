@@ -27,6 +27,16 @@ timeout 600 env VPEC_AUDIT=full cargo test -q --release --test audit_invariants 
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> static analysis gate (vpec-analyze vs lint.baseline)"
+# Project-specific lints (NaN ordering, panic freedom, unsafe audit,
+# numerical-class contracts, env-var registry) over the workspace's own
+# sources. "No new violations": anything not in the committed baseline or
+# covered by an inline `// vpec-allow:` waiver fails the gate. The scan is
+# a single lex+lint pass (~40 ms); the timeout is a hang backstop, not a
+# budget.
+timeout 120 cargo run --release -q -p vpec-analyze --bin vpec-analyze -- \
+  --root . --baseline lint.baseline
+
 echo "==> perf bench smoke run (--quick, smallest layout)"
 smoke_json="target/bench_perf_smoke.json"
 cargo run --release -q -p vpec-bench --bin perf -- --quick --out "$smoke_json"
@@ -34,7 +44,8 @@ cargo run --release -q -p vpec-bench --bin perf -- --quick --out "$smoke_json"
 # least one timed phase with its equivalence metric.
 for key in '"bench": "perf"' '"available_parallelism"' '"phases"' \
            '"serial_seconds"' '"parallel_seconds"' '"speedup"' '"max_abs_diff"' \
-           '"iterative_crossover"' '"waveform_peak"' '"max_abs_diff_vs_dense"'; do
+           '"iterative_crossover"' '"waveform_peak"' '"max_abs_diff_vs_dense"' \
+           '"lint"' '"wall_seconds"' '"files_scanned"' '"lines_scanned"'; do
   if ! grep -q "$key" "$smoke_json"; then
     echo "BENCH_perf smoke output is malformed: missing $key" >&2
     exit 1
