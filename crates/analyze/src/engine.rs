@@ -48,7 +48,7 @@ impl Config {
         let owned = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
         Config {
             root,
-            panic_crates: owned(&["numerics", "core", "circuit", "extract", "engine"]),
+            panic_crates: owned(&["numerics", "core", "circuit", "extract", "engine", "metrics"]),
             unsafe_allowlist: vec![("crates/numerics/src/pool.rs".to_string(), 3)],
             kernel_modules: owned(&["crates/numerics/src/kernel.rs"]),
             registry_files: owned(&["crates/cli/src/lib.rs"]),

@@ -39,14 +39,23 @@
 //! sources against the committed baseline — the same gate `scripts/check.sh`
 //! runs — and records the wall time plus files/lines scanned, so the
 //! static-analysis budget is a tracked number rather than a feeling.
+//!
+//! A `service_levels` section runs a canned 50-request batch (repeated
+//! geometry, AC sweeps, build-only, over-budget degradations, two
+//! guaranteed failures) through the engine's recorded path and aggregates
+//! the run-ledger records with `vpec_metrics::aggregate` — the same
+//! analytics `vpec stats` computes offline — so fleet-facing numbers
+//! (exact latency percentiles, cache hit ratios per level, degraded and
+//! failure rates) are tracked alongside the kernel timings.
 
 use std::time::Instant;
 use vpec_bench::report::{secs, speedup, Table};
 use vpec_circuit::ac::AcSpec;
 use vpec_circuit::{SolverKind, TransientSpec};
-use vpec_core::harness::{Experiment, ModelKind};
+use vpec_core::harness::{BuildBudget, Experiment, ModelKind};
 use vpec_core::DriveConfig;
-use vpec_engine::ModelCache;
+use vpec_engine::{Engine, EngineConfig, ModelCache, ScenarioRequest};
+use vpec_metrics::{aggregate, LedgerRecord, LedgerStats};
 use vpec_extract::{extract, ExtractionConfig, Parasitics};
 use vpec_geometry::BusSpec;
 use vpec_numerics::{pool, CancelToken, Cholesky, LuFactor};
@@ -190,6 +199,86 @@ fn bench_lint(reps: usize) -> LintReport {
         new_findings: report.findings.len(),
         baselined: report.baselined,
         waived: report.waived,
+    }
+}
+
+/// Fleet service levels of a canned batch run through the engine's
+/// recorded path ([`Engine::run_request_recorded`]) and aggregated with
+/// the same `vpec_metrics::aggregate` that backs `vpec stats`.
+struct ServiceLevelReport {
+    requests: usize,
+    wall_s: f64,
+    stats: LedgerStats,
+}
+
+/// Runs a fixed 50-request batch with a known composition — 24 repeated
+/// transients (cache hits), 10 AC sweeps, 8 windowed builds, 6 over-
+/// dimension full-inversion transients (degrade to wVPEC) and 2 over-step-budget
+/// PEEC transients (fail: PEEC is not degradable) — collecting the run
+/// ledger in memory. The timestamps are synthetic and deterministic; the
+/// latencies are real wall times of this machine.
+fn bench_service_levels() -> ServiceLevelReport {
+    let mut lines: Vec<String> = Vec::new();
+    for i in 0..24 {
+        lines.push(format!(
+            r#"{{"id":"tr{i}","structure":"bus","bits":8,"segments":2,"kind":"vpec-full","analysis":"transient","t_stop":5e-11,"dt":1e-12}}"#
+        ));
+    }
+    for i in 0..10 {
+        lines.push(format!(
+            r#"{{"id":"ac{i}","structure":"bus","bits":8,"segments":2,"kind":"vpec-full","analysis":"ac","f_start":1e8,"f_stop":1e10,"points_per_decade":3}}"#
+        ));
+    }
+    for i in 0..8 {
+        lines.push(format!(
+            r#"{{"id":"bld{i}","structure":"bus","bits":12,"kind":"wvpec-g:4","analysis":"none"}}"#
+        ));
+    }
+    for i in 0..6 {
+        lines.push(format!(
+            r#"{{"id":"big{i}","structure":"bus","bits":24,"kind":"vpec-full","analysis":"transient","t_stop":5e-11,"dt":1e-12}}"#
+        ));
+    }
+    for i in 0..2 {
+        lines.push(format!(
+            r#"{{"id":"deep{i}","structure":"bus","bits":8,"segments":2,"kind":"peec","analysis":"transient","t_stop":5e-9,"dt":1e-12}}"#
+        ));
+    }
+    let requests: Vec<ScenarioRequest> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| ScenarioRequest::parse_line(l, i).expect("canned request parses"))
+        .collect();
+
+    let mut engine = Engine::new(EngineConfig {
+        budget: BuildBudget {
+            max_matrix_dim: Some(20),
+            max_steps: Some(1000),
+            ..BuildBudget::unlimited()
+        },
+        backoff_ms: 1,
+        ..EngineConfig::default()
+    });
+
+    let t0 = Instant::now();
+    let records: Vec<LedgerRecord> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, req)| {
+            let (_, run) = engine.run_request_recorded(req, 0.0);
+            LedgerRecord::Request {
+                seq: i as u64 + 1,
+                ts_ms: i as u64 * 125,
+                run: Box::new(run),
+            }
+        })
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    ServiceLevelReport {
+        requests: records.len(),
+        wall_s,
+        stats: aggregate(&records, 0),
     }
 }
 
@@ -390,6 +479,9 @@ fn main() {
     let lint = bench_lint(if quick { 2 } else { 3 });
     // Leave the pool in its default (auto) state.
     pool::set_threads(0);
+    // Service-level batch runs at the auto thread count — the engine's
+    // operating point, not a pinned kernel measurement.
+    let service = bench_service_levels();
 
     for rep in &reports {
         let mut table = Table::new(&["phase", "serial", "parallel", "speedup", "max |Δ|"]);
@@ -473,12 +565,33 @@ fn main() {
         lint.waived,
     );
 
+    let lat = service.stats.latency();
+    let pct = |r: Option<f64>| r.map_or_else(|| "-".to_string(), |x| format!("{:.0}%", x * 100.0));
+    let ms = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.2} ms"));
+    println!(
+        "\nservice levels (canned {}-request batch): {} ok / {} failed / {} degraded in {}; \
+         p50 {} p90 {} p99 {} max {}; cache hits: experiment {} model {} factor {}",
+        service.requests,
+        service.stats.ok,
+        service.stats.failed,
+        service.stats.degraded,
+        secs(service.wall_s),
+        ms(lat.p50),
+        ms(lat.p90),
+        ms(lat.p99),
+        ms(lat.max),
+        pct(service.stats.experiment_cache.hit_ratio()),
+        pct(service.stats.model_cache.hit_ratio()),
+        pct(service.stats.factor_cache.hit_ratio()),
+    );
+
     let json = render_json(
         &reports,
         &cache,
         &factor_reuse,
         &crossover,
         &lint,
+        &service,
         hw,
         par_workers,
         quick,
@@ -644,6 +757,7 @@ fn render_json(
     factor_reuse: &FactorReuseReport,
     crossover: &[CrossoverRow],
     lint: &LintReport,
+    service: &ServiceLevelReport,
     hw: usize,
     par_workers: usize,
     quick: bool,
@@ -786,6 +900,44 @@ fn render_json(
     let _ = writeln!(out, "    \"new_findings\": {},", lint.new_findings);
     let _ = writeln!(out, "    \"baselined\": {},", lint.baselined);
     let _ = writeln!(out, "    \"waived\": {}", lint.waived);
+    let _ = writeln!(out, "  }},");
+    let jnum = |v: Option<f64>| match v {
+        Some(x) if x.is_finite() => format!("{x:.6}"),
+        _ => "null".to_string(),
+    };
+    let lat = service.stats.latency();
+    let _ = writeln!(out, "  \"service_levels\": {{");
+    let _ = writeln!(out, "    \"requests\": {},", service.requests);
+    let _ = writeln!(out, "    \"ok\": {},", service.stats.ok);
+    let _ = writeln!(out, "    \"failed\": {},", service.stats.failed);
+    let _ = writeln!(out, "    \"degraded\": {},", service.stats.degraded);
+    let _ = writeln!(out, "    \"retries\": {},", service.stats.retries);
+    let _ = writeln!(out, "    \"wall_seconds\": {:.6e},", service.wall_s);
+    let _ = writeln!(out, "    \"p50_ms\": {},", jnum(lat.p50));
+    let _ = writeln!(out, "    \"p90_ms\": {},", jnum(lat.p90));
+    let _ = writeln!(out, "    \"p99_ms\": {},", jnum(lat.p99));
+    let _ = writeln!(out, "    \"max_ms\": {},", jnum(lat.max));
+    let _ = writeln!(
+        out,
+        "    \"experiment_hit_ratio\": {},",
+        jnum(service.stats.experiment_cache.hit_ratio())
+    );
+    let _ = writeln!(
+        out,
+        "    \"model_hit_ratio\": {},",
+        jnum(service.stats.model_cache.hit_ratio())
+    );
+    let _ = writeln!(
+        out,
+        "    \"factor_hit_ratio\": {},",
+        jnum(service.stats.factor_cache.hit_ratio())
+    );
+    let _ = writeln!(
+        out,
+        "    \"degraded_pct\": {:.3},",
+        service.stats.degraded_pct()
+    );
+    let _ = writeln!(out, "    \"failed_pct\": {:.3}", service.stats.failed_pct());
     out.push_str("  }\n}\n");
     out
 }

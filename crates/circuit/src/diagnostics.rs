@@ -176,6 +176,9 @@ pub struct TransientDiagnostics {
     /// prepared earlier (factor-once/solve-many) instead of factoring the
     /// MNA system itself.
     pub reused_factor: bool,
+    /// Dimension of the MNA system that was solved (0 when unknown, e.g.
+    /// a default-constructed diagnostics value).
+    pub dim: usize,
 }
 
 impl TransientDiagnostics {

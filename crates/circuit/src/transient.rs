@@ -470,6 +470,7 @@ fn run_transient_guarded(
     let mut diag = TransientDiagnostics {
         final_dt: dt,
         reused_factor: prefactored.is_some(),
+        dim: layout.dim,
         ..TransientDiagnostics::default()
     };
     let mut x: Vec<f64>;

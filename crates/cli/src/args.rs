@@ -5,6 +5,7 @@ use vpec_circuit::spice_in::parse_value;
 use vpec_circuit::SolverKind;
 use vpec_core::harness::ModelKind;
 use vpec_engine::EngineConfig;
+use vpec_metrics::{parse_fail_if, FailCondition};
 use vpec_numerics::audit::AuditLevel;
 
 /// Which subcommand was requested.
@@ -28,6 +29,8 @@ pub enum Command {
     Tune,
     /// `vpec lint` — run the workspace static-analysis gate.
     Lint,
+    /// `vpec stats` — aggregate run ledgers into a fleet report.
+    Stats,
     /// `vpec help`
     Help,
 }
@@ -99,6 +102,22 @@ pub struct ParsedArgs {
     /// Resilience policy for `batch`/`serve`: deadline, admission
     /// budgets, retry/backoff, wVPEC degradation.
     pub engine: EngineConfig,
+    /// Run-ledger path for `batch`/`serve` (`--ledger PATH`; `None` =
+    /// resolve from `VPEC_LEDGER`, then off).
+    pub ledger: Option<String>,
+    /// Prometheus-style exposition file for `batch`/`serve`
+    /// (`--metrics-out PATH`), rewritten atomically.
+    pub metrics_out: Option<String>,
+    /// In-stream snapshot cadence for long streams
+    /// (`--stats-interval-ms N`; `None`/0 = no periodic snapshots).
+    pub stats_interval_ms: Option<u64>,
+    /// `stats` CI thresholds (repeatable `--fail-if METRIC>VALUE`),
+    /// parsed eagerly so a typo is a usage error.
+    pub fail_if: Vec<FailCondition>,
+    /// `stats --format json`: machine-readable report instead of text.
+    pub stats_json: bool,
+    /// Positional ledger paths for `stats`.
+    pub stats_inputs: Vec<String>,
 }
 
 impl Default for ParsedArgs {
@@ -127,6 +146,12 @@ impl Default for ParsedArgs {
             strict: false,
             lint_root: None,
             engine: EngineConfig::default(),
+            ledger: None,
+            metrics_out: None,
+            stats_interval_ms: None,
+            fail_if: Vec::new(),
+            stats_json: false,
+            stats_inputs: Vec::new(),
         }
     }
 }
@@ -173,6 +198,7 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
         "serve" => Command::Serve,
         "tune" => Command::Tune,
         "lint" => Command::Lint,
+        "stats" => Command::Stats,
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(CliError::usage(format!("unknown command: {other}"))),
     };
@@ -288,6 +314,30 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
             "--degrade-window" => {
                 out.engine.degrade_window = positive(flag, value("window size")?)?;
             }
+            "--ledger" => out.ledger = Some(value("path")?.clone()),
+            "--metrics-out" => out.metrics_out = Some(value("path")?.clone()),
+            "--stats-interval-ms" => {
+                let ms: u64 = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| CliError::usage("--stats-interval-ms must be an integer"))?;
+                // 0 = explicitly no periodic snapshots.
+                out.stats_interval_ms = if ms == 0 { None } else { Some(ms) };
+            }
+            "--fail-if" => {
+                out.fail_if
+                    .push(parse_fail_if(value("METRIC>VALUE")?).map_err(CliError::usage)?);
+            }
+            "--format" => {
+                out.stats_json = match value("text or json")?.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => {
+                        return Err(CliError::usage(format!(
+                            "unknown format: {other} (use text or json)"
+                        )))
+                    }
+                };
+            }
             "-o" | "--output" => out.output = Some(value("path")?.clone()),
             "--solver" => {
                 out.solver =
@@ -310,6 +360,11 @@ pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
                     // by the command runner, not here.
                     vpec_trace::parse_mode_spec(spec).map_err(CliError::usage)?;
                     out.trace = Some(spec.to_string());
+                } else if let Some(expr) = other.strip_prefix("--fail-if=") {
+                    out.fail_if.push(parse_fail_if(expr).map_err(CliError::usage)?);
+                } else if !other.starts_with('-') && out.command == Command::Stats {
+                    // `stats` takes its ledger files as positional paths.
+                    out.stats_inputs.push(other.to_string());
                 } else {
                     return Err(CliError::usage(format!("unknown option: {other}")));
                 }
@@ -503,6 +558,43 @@ mod tests {
         assert!(a.strict);
         assert_eq!(a.lint_root.as_deref(), Some("sub/dir"));
         assert!(parse_args(&argv("lint --root")).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let a = parse_args(&argv(
+            "batch --in r.jsonl --ledger run.jsonl --metrics-out m.prom \
+             --stats-interval-ms 5000",
+        ))
+        .unwrap();
+        assert_eq!(a.ledger.as_deref(), Some("run.jsonl"));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(a.stats_interval_ms, Some(5000));
+        // 0 = explicitly off.
+        let a = parse_args(&argv("serve --stats-interval-ms 0")).unwrap();
+        assert_eq!(a.stats_interval_ms, None);
+        assert!(parse_args(&argv("batch --ledger")).is_err());
+        assert!(parse_args(&argv("serve --stats-interval-ms soon")).is_err());
+    }
+
+    #[test]
+    fn parses_stats_command() {
+        let a = parse_args(&argv("stats a.jsonl b.jsonl --format json --fail-if p99>250ms"))
+            .unwrap();
+        assert_eq!(a.command, Command::Stats);
+        assert_eq!(a.stats_inputs, vec!["a.jsonl", "b.jsonl"]);
+        assert!(a.stats_json);
+        assert_eq!(a.fail_if.len(), 1);
+        // --fail-if=EXPR also works, and the conditions accumulate.
+        let a = parse_args(&argv("stats l.jsonl --fail-if=p99>1s --fail-if degraded>5%"))
+            .unwrap();
+        assert_eq!(a.fail_if.len(), 2);
+        assert!(!a.stats_json);
+        // A malformed expression or format is a parse-time usage error.
+        assert_eq!(parse_args(&argv("stats l.jsonl --fail-if p17>1ms")).unwrap_err().code, 2);
+        assert_eq!(parse_args(&argv("stats l.jsonl --format yaml")).unwrap_err().code, 2);
+        // Positional arguments belong to stats only.
+        assert!(parse_args(&argv("batch extra.jsonl")).is_err());
     }
 
     #[test]

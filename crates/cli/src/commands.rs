@@ -326,9 +326,24 @@ pub fn export(args: &ParsedArgs) -> Result<String, CliError> {
 
 fn engine_summary(s: &vpec_engine::StreamSummary) -> String {
     format!(
-        "batch: {} requests, {} ok ({} degraded), {} failed; cache {} hits / {} misses\n",
-        s.total, s.ok, s.degraded, s.failed, s.cache_hits, s.cache_misses
+        "batch: {} requests, {} ok ({} degraded), {} failed, {} retries; \
+         cache {} hits / {} misses\n",
+        s.total, s.ok, s.degraded, s.failed, s.retries, s.cache_hits, s.cache_misses
     )
+}
+
+/// Builds the telemetry bundle for `batch`/`serve` from the parsed flags,
+/// falling back to the `VPEC_LEDGER` environment variable for the ledger
+/// path. With nothing configured the bundle is inert.
+fn stream_telemetry(args: &ParsedArgs) -> Result<vpec_engine::StreamTelemetry, CliError> {
+    let env_ledger = std::env::var("VPEC_LEDGER").ok().filter(|p| !p.is_empty());
+    let ledger = args.ledger.clone().or(env_ledger);
+    vpec_engine::StreamTelemetry::new(
+        ledger.as_deref(),
+        args.metrics_out.as_deref(),
+        args.stats_interval_ms,
+    )
+    .map_err(|e| CliError::runtime(format!("cannot open telemetry sink: {e}")))
 }
 
 /// Runs one JSONL request stream through a fresh engine built from the
@@ -338,8 +353,9 @@ fn run_engine_stream<R: std::io::BufRead, W: std::io::Write>(
     reader: R,
     writer: &mut W,
 ) -> Result<vpec_engine::StreamSummary, CliError> {
+    let mut telemetry = stream_telemetry(args)?;
     vpec_engine::Engine::new(args.engine)
-        .run_stream(reader, writer)
+        .run_stream_with(reader, writer, &mut telemetry)
         .map_err(runtime)
 }
 
@@ -397,6 +413,56 @@ pub fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let summary = run_engine_stream(args, stdin.lock(), &mut w)?;
     eprint!("{}", engine_summary(&summary));
     Ok(String::new())
+}
+
+/// `vpec stats`: aggregate one or more run ledgers into a fleet report.
+///
+/// Every positional argument is a ledger file written by `vpec batch
+/// --ledger` / `vpec serve --ledger` (or `VPEC_LEDGER`). Each file is
+/// schema-validated (contiguous `seq` from 1) before aggregation;
+/// `--format json` emits one JSON object instead of the text report, and
+/// repeatable `--fail-if METRIC>VALUE` thresholds turn the report into a
+/// CI gate.
+///
+/// # Errors
+///
+/// Usage error when no ledger is given; runtime errors for unreadable or
+/// schema-invalid ledgers, and when any `--fail-if` threshold is
+/// breached (the report plus the breaches are in the message).
+pub fn stats(args: &ParsedArgs) -> Result<String, CliError> {
+    if args.stats_inputs.is_empty() {
+        return Err(CliError::usage(
+            "stats needs at least one LEDGER file (from batch/serve --ledger)",
+        ));
+    }
+    let mut records = Vec::new();
+    for path in &args.stats_inputs {
+        let content = std::fs::read_to_string(path)
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        // Each ledger file carries its own contiguous seq, so files are
+        // validated independently and then aggregated together.
+        let mut recs = vpec_metrics::parse_ledger(&content)
+            .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        records.append(&mut recs);
+    }
+    let stats = vpec_metrics::aggregate(&records, 0);
+    let report = if args.stats_json {
+        let mut json = stats.render_json();
+        json.push('\n');
+        json
+    } else {
+        stats.render_text()
+    };
+    let breaches: Vec<String> = args.fail_if.iter().filter_map(|c| c.check(&stats)).collect();
+    if breaches.is_empty() {
+        Ok(report)
+    } else {
+        let mut msg = report;
+        for b in &breaches {
+            let _ = writeln!(msg, "fail-if breached — {b}");
+        }
+        Err(CliError::runtime(msg))
+    }
 }
 
 /// `vpec tune`: measure this machine's kernel-dispatch crossovers and
@@ -533,6 +599,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         crate::Command::Serve => serve(args),
         crate::Command::Tune => tune(args),
         crate::Command::Lint => lint(args),
+        crate::Command::Stats => stats(args),
         crate::Command::Help => Ok(crate::USAGE.to_string()),
     };
     match (result, vpec_trace::mode()) {
@@ -786,6 +853,113 @@ mod tests {
             run_line("batch --in /nonexistent-dir/none.jsonl").unwrap_err().code,
             1
         );
+    }
+
+    #[test]
+    fn batch_summary_reports_retries_and_degradations() {
+        let dir = std::env::temp_dir();
+        let input = dir.join("vpec_cli_test_summary.jsonl");
+        let output = dir.join("vpec_cli_test_summary_out.jsonl");
+        // One clean request, one fault-armed request that burns its retry
+        // budget, one over-budget request that degrades to wVPEC.
+        std::fs::write(
+            &input,
+            "{\"id\":\"ok\",\"bits\":3,\"kind\":\"wvpec-g:2\",\"t_stop\":5e-11}\n\
+             {\"id\":\"boom\",\"bits\":3,\"kind\":\"wvpec-g:2\",\"t_stop\":5e-11,\
+              \"faults\":{\"panic_engine\":true}}\n\
+             {\"id\":\"big\",\"bits\":8,\"kind\":\"vpec-full\",\"t_stop\":5e-11}\n",
+        )
+        .unwrap();
+        let line = format!(
+            "batch --in {} --retries 2 --backoff-ms 1 --max-dim 6 --degrade-window 2 -o {}",
+            input.display(),
+            output.display()
+        );
+        let summary = run(&parse_args(&argv(&line)).unwrap()).unwrap();
+        // boom: 3 attempts = 2 retries; big: degraded. Both counts must
+        // surface in the one-line summary.
+        assert!(summary.contains("3 requests"), "{summary}");
+        assert!(summary.contains("2 ok (1 degraded)"), "{summary}");
+        assert!(summary.contains("1 failed"), "{summary}");
+        assert!(summary.contains("2 retries"), "{summary}");
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&output);
+    }
+
+    #[test]
+    fn ledger_round_trips_through_stats() {
+        let dir = std::env::temp_dir();
+        let input = dir.join("vpec_cli_test_ledger_in.jsonl");
+        let output = dir.join("vpec_cli_test_ledger_out.jsonl");
+        let ledger = dir.join("vpec_cli_test_ledger.jsonl");
+        // Known composition: 2 ok (1 model-cache hit), 1 unparseable line,
+        // 1 degraded (over budget).
+        std::fs::write(
+            &input,
+            "{\"id\":\"a\",\"bits\":3,\"kind\":\"wvpec-g:2\",\"t_stop\":5e-11}\n\
+             {\"id\":\"b\",\"bits\":3,\"kind\":\"wvpec-g:2\",\"t_stop\":5e-11}\n\
+             garbage\n\
+             {\"id\":\"big\",\"bits\":8,\"kind\":\"vpec-full\",\"t_stop\":5e-11}\n",
+        )
+        .unwrap();
+        let line = format!(
+            "batch --in {} --retries 0 --max-dim 6 --degrade-window 2 --ledger {} -o {}",
+            input.display(),
+            ledger.display(),
+            output.display()
+        );
+        run(&parse_args(&argv(&line)).unwrap()).unwrap();
+
+        // One schema-valid record per request, seq contiguous from 1.
+        let content = std::fs::read_to_string(&ledger).unwrap();
+        let records = vpec_metrics::parse_ledger(&content).unwrap();
+        assert_eq!(records.len(), 4);
+
+        // The offline aggregate reproduces the batch's composition.
+        let stats_line = format!("stats {} --format json", ledger.display());
+        let json = run(&parse_args(&argv(&stats_line)).unwrap()).unwrap();
+        let v = vpec_trace::json::parse(json.trim()).unwrap();
+        use vpec_trace::json::JsonValue;
+        let count = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap();
+        assert_eq!(count("total"), 4);
+        assert_eq!(count("ok"), 3);
+        assert_eq!(count("failed"), 1);
+        assert_eq!(count("degraded"), 1);
+        let model = v.get("cache").and_then(|c| c.get("model")).unwrap();
+        assert_eq!(model.get("hits").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(model.get("misses").and_then(JsonValue::as_u64), Some(2));
+        assert!(v.get("errors").and_then(|e| e.get("bad-request")).is_some());
+        assert!(
+            v.get("degraded_reasons").and_then(|d| d.get("budget")).is_some(),
+            "{json}"
+        );
+        // The transient requests carry the accepted solver strategy.
+        assert!(v.get("strategies").is_some());
+
+        // fail-if thresholds drive the exit code both ways.
+        let pass = format!("stats {} --fail-if p99>60s", ledger.display());
+        assert!(run(&parse_args(&argv(&pass)).unwrap()).is_ok());
+        let fail = format!("stats {} --fail-if degraded>0%", ledger.display());
+        let err = run(&parse_args(&argv(&fail)).unwrap()).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("fail-if breached"), "{}", err.message);
+
+        // Missing positional ledgers are usage errors; unreadable and
+        // schema-invalid ledgers are runtime errors.
+        assert_eq!(run_line("stats").unwrap_err().code, 2);
+        assert_eq!(run_line("stats /nonexistent-dir/none.jsonl").unwrap_err().code, 1);
+        let broken = dir.join("vpec_cli_test_ledger_broken.jsonl");
+        std::fs::write(&broken, content.replace("\"seq\":2", "\"seq\":9")).unwrap();
+        let err = run(&parse_args(&argv(&format!("stats {}", broken.display())))
+            .unwrap())
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("expected seq 2"), "{}", err.message);
+
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&output);
+        let _ = std::fs::remove_file(&ledger);
+        let _ = std::fs::remove_file(&broken);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! vpec export   <structure> --kind vpec-full -o deck.sp
 //! vpec batch    --in reqs.jsonl [-o out.jsonl] [--deadline-ms 500]
 //!               [--max-dim 64] [--retries 2] [--no-degrade]
-//! vpec serve    [engine options]   # JSONL stdin -> stdout
+//!               [--ledger run.jsonl] [--metrics-out metrics.prom]
+//! vpec serve    [engine options] [--stats-interval-ms 5000]
+//! vpec stats    LEDGER... [--format text|json] [--fail-if p99>250ms]
 //! vpec tune     [--quick] [-o profile.tune]
 //! vpec lint     [--root DIR] [--strict] [--write-baseline]
 //! ```
@@ -77,6 +79,7 @@ COMMANDS:
   export     write a SPICE deck for the chosen model
   batch      run a JSONL scenario file through the resilient engine
   serve      stream JSONL scenarios: stdin -> stdout, one line each way
+  stats      aggregate run ledgers into a fleet service report
   tune       measure kernel-dispatch thresholds for this machine
   lint       run the workspace static-analysis gate (vpec-analyze)
   help       show this text
@@ -141,11 +144,44 @@ ENGINE OPTIONS (batch / serve):
   --no-degrade      fail over-budget/over-deadline full-inversion
                     requests instead of re-running them as wVPEC
   --degrade-window B  window size of the wVPEC fallback (default 4)
+  --ledger PATH     write the run ledger: one JSONL record per request
+                    (outcome, error class, retries, degradation, cache
+                    levels hit, solver strategy, queue/build/solve phase
+                    times, scratch estimate; schema in DESIGN.md §15).
+                    Default: the VPEC_LEDGER env var, then off. Lines
+                    are flushed one at a time with a contiguous seq, so
+                    a killed process leaves a valid prefix behind
+  --metrics-out PATH  write Prometheus-style text exposition of the
+                    request counters and latency histograms; the file is
+                    replaced atomically (write + rename) on every
+                    snapshot and when the stream ends
+  --stats-interval-ms N  interleave a registry snapshot record into the
+                    ledger (and rewrite --metrics-out) every N ms of
+                    stream time — for long-running serve fleets
+                    (default 0 = only the final exposition write)
 
   Every request runs inside an isolated boundary: panics, deadline
   overruns and budget rejections become typed JSONL error responses
   while the rest of the batch keeps running. Requests that share a
   geometry share one extraction and one model per kind via a cache.
+  The stderr summary counts requests, oks, degradations, failures and
+  retries, plus model-cache hits/misses.
+
+STATS (vpec stats LEDGER...):
+  Aggregates one or more run ledgers offline into a fleet report:
+  exact nearest-rank latency percentiles (overall, per model kind and
+  per outcome), cache hit ratios per level (experiment/model/factor),
+  solver-strategy, preconditioner and degradation breakdowns, an error
+  taxonomy, and throughput over 60 s buckets. Each file is
+  schema-validated first — a dropped or reordered record fails loudly.
+
+  --format F        text (default) or json (one machine-readable object)
+  --fail-if EXPR    exit 1 when a threshold is exceeded; repeatable.
+                    EXPR is METRIC>VALUE with METRIC one of p50, p90,
+                    p99, max (duration values: 250ms, 1.5s, 800us; bare
+                    numbers are ms) or degraded, failed (percent values:
+                    5%; bare numbers are percent points).
+                    Example: --fail-if p99>250ms --fail-if degraded>5%
 
 DIAGNOSTICS:
   model prints a passivity-repair summary for sparsified kinds (tvpec-*,

@@ -26,6 +26,11 @@
 //!   one built model per kind ([`ModelCache`]); fault-injected requests
 //!   bypass the cache.
 //!
+//! * **Observability** — [`runner::Engine::run_stream_with`] feeds a
+//!   [`telemetry::StreamTelemetry`] bundle: one run-ledger record per
+//!   request, registry counters/histograms, and periodic snapshots (see
+//!   `vpec_metrics` and DESIGN.md §15).
+//!
 //! The CLI exposes this as `vpec batch --in FILE` and `vpec serve`
 //! (stdin → stdout).
 
@@ -37,8 +42,10 @@ pub mod cache;
 pub mod error;
 pub mod request;
 pub mod runner;
+pub mod telemetry;
 
 pub use cache::ModelCache;
 pub use error::EngineError;
 pub use request::{AnalysisSpec, ScenarioRequest, ScenarioResponse, StructureSpec};
 pub use runner::{Engine, EngineConfig, StreamSummary};
+pub use telemetry::StreamTelemetry;

@@ -24,8 +24,10 @@
 use crate::boundary::run_guarded;
 use crate::cache::ModelCache;
 use crate::request::{AnalysisSpec, ScenarioRequest, ScenarioResponse, StructureSpec};
+use crate::telemetry::StreamTelemetry;
 use crate::EngineError;
 use std::io::{BufRead, Write};
+use vpec_metrics::RunRecord;
 use std::sync::Arc;
 use std::time::Instant;
 use vpec_circuit::ac::AcSpec;
@@ -82,10 +84,33 @@ pub struct StreamSummary {
     pub failed: usize,
     /// Requests marked `degraded: true`.
     pub degraded: usize,
+    /// Retries consumed across the stream (attempts beyond each
+    /// request's first).
+    pub retries: usize,
     /// Model-cache hits over the whole stream.
     pub cache_hits: u64,
     /// Model-cache misses over the whole stream.
     pub cache_misses: u64,
+}
+
+/// Solver/cache attribution of one successful attempt, mirrored into the
+/// run-ledger record.
+#[derive(Debug, Clone, Copy, Default)]
+struct SolveAttribution {
+    /// Accepted factorization strategy label, when a transient ran.
+    strategy: Option<&'static str>,
+    /// Preconditioner the iterative stage settled on, when it did.
+    preconditioner: Option<&'static str>,
+    /// MNA matrix dimension of the transient system.
+    dim: Option<usize>,
+    /// Model-build phase wall time, ms.
+    build_ms: Option<f64>,
+    /// Solve phase wall time, ms.
+    solve_ms: Option<f64>,
+    /// The geometry-keyed extraction cache answered.
+    experiment_hit: bool,
+    /// The prepared-factorization cache answered.
+    factor_hit: bool,
 }
 
 /// What one successful attempt produced.
@@ -97,6 +122,50 @@ struct AttemptOutput {
     /// The solve itself reported degraded operation.
     degraded_solve: bool,
     notes: Vec<String>,
+    attr: SolveAttribution,
+}
+
+/// The ledger's analysis-class label for a request.
+fn analysis_label(spec: &AnalysisSpec) -> &'static str {
+    match spec {
+        AnalysisSpec::Transient { .. } => "transient",
+        AnalysisSpec::Ac { .. } => "ac",
+        AnalysisSpec::BuildOnly => "build",
+    }
+}
+
+/// Assembles the run-ledger record from a finished response plus the
+/// solver/cache attribution of the attempt that produced it.
+fn ledger_record(
+    analysis: &AnalysisSpec,
+    resp: &ScenarioResponse,
+    attr: &SolveAttribution,
+    queue_ms: f64,
+) -> RunRecord {
+    RunRecord {
+        id: resp.id.clone(),
+        ok: resp.ok,
+        error: resp.error.as_ref().map(|e| e.category().to_string()),
+        kind: resp.requested.clone(),
+        ran: resp.ran.clone(),
+        analysis: analysis_label(analysis).to_string(),
+        retries: resp.attempts.saturating_sub(1),
+        degraded: resp.degraded,
+        degraded_reason: resp.degraded_reason.clone(),
+        experiment_hit: attr.experiment_hit,
+        model_hit: resp.cache_hit,
+        factor_hit: attr.factor_hit,
+        strategy: attr.strategy.map(str::to_string),
+        preconditioner: attr.preconditioner.map(str::to_string),
+        dim: attr.dim,
+        elements: resp.elements,
+        queue_ms,
+        build_ms: attr.build_ms,
+        solve_ms: attr.solve_ms,
+        total_ms: resp.elapsed_ms,
+        // Dense-factorization upper bound: an n×n matrix of f64.
+        peak_scratch_bytes: attr.dim.map(|d| 8 * (d as u64) * (d as u64)),
+    }
 }
 
 /// The transient spec for a request, carrying its `"solver"` override.
@@ -204,37 +273,39 @@ impl Engine {
             // Fault-injected requests bypass the cache in both directions:
             // they must not be answered from it, and their (possibly
             // half-poisoned) artifacts must not enter it.
-            let (model, cache_hit, prefactor): (
+            let (model, cache_hit, prefactor, experiment_hit, factor_hit): (
                 Arc<BuiltModel>,
                 bool,
                 Option<Arc<vpec_circuit::TransientFactor>>,
+                bool,
+                bool,
             ) = if faults.is_armed() {
                 let cfg = cfg.with_faults(faults);
                 let exp = Experiment::new(layout, &cfg, drive);
                 let built = exp
                     .build_cancel(kind, &work_token)
                     .map_err(EngineError::from_build)?;
-                (Arc::new(built), false, None)
+                (Arc::new(built), false, None, false, false)
             } else {
-                let (hash, exp, _) = cache.experiment_for(layout, &cfg, drive);
+                let (hash, exp, exp_hit) = cache.experiment_for(layout, &cfg, drive);
                 let (model, hit) = cache
                     .model_for(hash, &exp, kind, &work_token)
                     .map_err(EngineError::from_build)?;
                 // Factor-once/solve-many: transient requests also fetch the
                 // prepared MNA factorization, cached alongside the model so
                 // repeats skip the factor + DC phases.
-                let prefactor = match &analysis {
-                    AnalysisSpec::Transient { t_stop, dt } => Some(
-                        cache
+                let (prefactor, f_hit) = match &analysis {
+                    AnalysisSpec::Transient { t_stop, dt } => {
+                        let (factor, f_hit) = cache
                             .factor_for(hash, kind, &model, &transient_spec(*t_stop, *dt, solver))
                             .map_err(|e| EngineError::AnalysisFailed {
                                 message: e.to_string(),
-                            })?
-                            .0,
-                    ),
-                    _ => None,
+                            })?;
+                        (Some(factor), f_hit)
+                    }
+                    _ => (None, false),
                 };
-                (model, hit, prefactor)
+                (model, hit, prefactor, exp_hit, f_hit)
             };
 
             let analysis_err = |e: vpec_core::CoreError| EngineError::AnalysisFailed {
@@ -256,12 +327,35 @@ impl Engine {
                         let w = model.far_voltage(&res, k).map_err(analysis_err)?;
                         peak = peak.max(peak_abs(&w));
                     }
+                    let attr = SolveAttribution {
+                        strategy: report
+                            .transient
+                            .as_ref()
+                            .and_then(|t| t.factor.accepted())
+                            .map(|s| s.label()),
+                        preconditioner: report
+                            .transient
+                            .as_ref()
+                            .and_then(|t| t.factor.preconditioner),
+                        dim: report
+                            .transient
+                            .as_ref()
+                            .map(|t| t.dim)
+                            .filter(|&d| d > 0),
+                        build_ms: Some(
+                            report.build_seconds.unwrap_or(model.build_seconds) * 1e3,
+                        ),
+                        solve_ms: report.solve_seconds.map(|s| s * 1e3),
+                        experiment_hit,
+                        factor_hit,
+                    };
                     Ok(AttemptOutput {
                         elements: model.element_count(),
                         cache_hit,
                         peak: Some(peak),
                         degraded_solve: report.degraded(),
                         notes: report.lines(),
+                        attr,
                     })
                 }
                 AnalysisSpec::Ac {
@@ -274,7 +368,9 @@ impl Engine {
                             message: e.to_string(),
                         })?
                         .cancel_token(work_token.clone());
+                    let t_solve = Instant::now();
                     let (res, _) = model.run_ac(&spec).map_err(analysis_err)?;
+                    let solve_ms = t_solve.elapsed().as_secs_f64() * 1e3;
                     let mut peak: f64 = 0.0;
                     for &node in &model.model.far_nodes {
                         let mag = res.magnitude(node).map_err(|e| EngineError::AnalysisFailed {
@@ -288,6 +384,13 @@ impl Engine {
                         peak: Some(peak),
                         degraded_solve: false,
                         notes: Vec::new(),
+                        attr: SolveAttribution {
+                            build_ms: Some(model.build_seconds * 1e3),
+                            solve_ms: Some(solve_ms),
+                            experiment_hit,
+                            factor_hit,
+                            ..SolveAttribution::default()
+                        },
                     })
                 }
                 AnalysisSpec::BuildOnly => Ok(AttemptOutput {
@@ -296,6 +399,12 @@ impl Engine {
                     peak: None,
                     degraded_solve: model.repair.as_ref().is_some_and(|r| r.repaired()),
                     notes: Vec::new(),
+                    attr: SolveAttribution {
+                        build_ms: Some(model.build_seconds * 1e3),
+                        experiment_hit,
+                        factor_hit,
+                        ..SolveAttribution::default()
+                    },
                 }),
             }
         })
@@ -305,109 +414,139 @@ impl Engine {
     /// panics and never blocks past the deadline (plus one unit of
     /// cooperative work): every outcome is a [`ScenarioResponse`].
     pub fn run_request(&mut self, req: &ScenarioRequest) -> ScenarioResponse {
+        self.run_request_recorded(req, 0.0).0
+    }
+
+    /// [`Engine::run_request`] plus the matching run-ledger record.
+    /// `queue_ms` is how long the request waited before the engine picked
+    /// it up (stream read + idle time); it is passed through verbatim.
+    pub fn run_request_recorded(
+        &mut self,
+        req: &ScenarioRequest,
+        queue_ms: f64,
+    ) -> (ScenarioResponse, RunRecord) {
         let _sp = vpec_trace::span!("engine.request", "id" => req.id.clone());
         let t0 = Instant::now();
         let deadline = req.deadline_ms.or(self.config.deadline_ms);
         let requested = req.kind.label();
 
         let mut attempts = 0;
-        let terminal = loop {
-            attempts += 1;
-            match self.attempt(req, req.kind, req.faults, deadline) {
-                Ok(out) => {
-                    return ScenarioResponse {
-                        id: req.id.clone(),
-                        ok: true,
-                        requested: requested.clone(),
-                        ran: Some(requested),
-                        degraded: out.degraded_solve,
-                        degraded_reason: None,
-                        attempts,
-                        cache_hit: out.cache_hit,
-                        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
-                        elements: Some(out.elements),
-                        peak_mv: out.peak.map(|p| p * 1e3),
-                        notes: out.notes,
-                        error: None,
+        let (response, attr) = 'outcome: {
+            let terminal = loop {
+                attempts += 1;
+                match self.attempt(req, req.kind, req.faults, deadline) {
+                    Ok(out) => {
+                        break 'outcome (
+                            ScenarioResponse {
+                                id: req.id.clone(),
+                                ok: true,
+                                requested: requested.clone(),
+                                ran: Some(requested),
+                                degraded: out.degraded_solve,
+                                degraded_reason: None,
+                                attempts,
+                                cache_hit: out.cache_hit,
+                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                elements: Some(out.elements),
+                                peak_mv: out.peak.map(|p| p * 1e3),
+                                notes: out.notes,
+                                error: None,
+                            },
+                            out.attr,
+                        )
+                    }
+                    Err(e) => {
+                        if e.retryable() && attempts <= self.config.retries {
+                            vpec_trace::counter_add("engine.retry", 1);
+                            let backoff = self.config.backoff_ms << (attempts - 1).min(6);
+                            std::thread::sleep(std::time::Duration::from_millis(backoff));
+                            continue;
+                        }
+                        break e;
                     }
                 }
-                Err(e) => {
-                    if e.retryable() && attempts <= self.config.retries {
-                        vpec_trace::counter_add("engine.retry", 1);
-                        let backoff = self.config.backoff_ms << (attempts - 1).min(6);
-                        std::thread::sleep(std::time::Duration::from_millis(backoff));
-                        continue;
+            };
+
+            // Graceful degradation: answer "too expensive" with the windowed
+            // model instead of a failure. Faults are stripped — the fallback
+            // exists to produce a usable answer, not to re-run the fault.
+            if self.config.degrade && terminal.degradable() && req.kind.needs_full_inversion() {
+                let b = self.config.degrade_window.max(1);
+                let wkind = ModelKind::WVpecGeometric { b };
+                vpec_trace::counter_add("engine.degraded", 1);
+                match self.attempt(req, wkind, FaultInjection::none(), deadline) {
+                    Ok(out) => {
+                        let mut notes = out.notes;
+                        notes.push(format!(
+                            "degraded to {} after: {terminal}",
+                            wkind.label()
+                        ));
+                        break 'outcome (
+                            ScenarioResponse {
+                                id: req.id.clone(),
+                                ok: true,
+                                requested,
+                                ran: Some(wkind.label()),
+                                degraded: true,
+                                degraded_reason: Some(terminal.category().to_string()),
+                                attempts,
+                                cache_hit: out.cache_hit,
+                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                elements: Some(out.elements),
+                                peak_mv: out.peak.map(|p| p * 1e3),
+                                notes,
+                                error: None,
+                            },
+                            out.attr,
+                        );
                     }
-                    break e;
+                    Err(fallback_err) => {
+                        break 'outcome (
+                            ScenarioResponse {
+                                id: req.id.clone(),
+                                ok: false,
+                                requested,
+                                ran: None,
+                                degraded: false,
+                                degraded_reason: None,
+                                attempts,
+                                cache_hit: false,
+                                elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                                elements: None,
+                                peak_mv: None,
+                                notes: vec![format!(
+                                    "degraded fallback also failed: {fallback_err}"
+                                )],
+                                error: Some(terminal),
+                            },
+                            SolveAttribution::default(),
+                        )
+                    }
                 }
             }
+
+            (
+                ScenarioResponse {
+                    id: req.id.clone(),
+                    ok: false,
+                    requested,
+                    ran: None,
+                    degraded: false,
+                    degraded_reason: None,
+                    attempts,
+                    cache_hit: false,
+                    elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    elements: None,
+                    peak_mv: None,
+                    notes: Vec::new(),
+                    error: Some(terminal),
+                },
+                SolveAttribution::default(),
+            )
         };
 
-        // Graceful degradation: answer "too expensive" with the windowed
-        // model instead of a failure. Faults are stripped — the fallback
-        // exists to produce a usable answer, not to re-run the fault.
-        if self.config.degrade && terminal.degradable() && req.kind.needs_full_inversion() {
-            let b = self.config.degrade_window.max(1);
-            let wkind = ModelKind::WVpecGeometric { b };
-            vpec_trace::counter_add("engine.degraded", 1);
-            match self.attempt(req, wkind, FaultInjection::none(), deadline) {
-                Ok(out) => {
-                    let mut notes = out.notes;
-                    notes.push(format!(
-                        "degraded to {} after: {terminal}",
-                        wkind.label()
-                    ));
-                    return ScenarioResponse {
-                        id: req.id.clone(),
-                        ok: true,
-                        requested,
-                        ran: Some(wkind.label()),
-                        degraded: true,
-                        degraded_reason: Some(terminal.category().to_string()),
-                        attempts,
-                        cache_hit: out.cache_hit,
-                        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
-                        elements: Some(out.elements),
-                        peak_mv: out.peak.map(|p| p * 1e3),
-                        notes,
-                        error: None,
-                    };
-                }
-                Err(fallback_err) => {
-                    return ScenarioResponse {
-                        id: req.id.clone(),
-                        ok: false,
-                        requested,
-                        ran: None,
-                        degraded: false,
-                        degraded_reason: None,
-                        attempts,
-                        cache_hit: false,
-                        elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
-                        elements: None,
-                        peak_mv: None,
-                        notes: vec![format!("degraded fallback also failed: {fallback_err}")],
-                        error: Some(terminal),
-                    }
-                }
-            }
-        }
-
-        ScenarioResponse {
-            id: req.id.clone(),
-            ok: false,
-            requested,
-            ran: None,
-            degraded: false,
-            degraded_reason: None,
-            attempts,
-            cache_hit: false,
-            elapsed_ms: t0.elapsed().as_secs_f64() * 1e3,
-            elements: None,
-            peak_mv: None,
-            notes: Vec::new(),
-            error: Some(terminal),
-        }
+        let record = ledger_record(&req.analysis, &response, &attr, queue_ms);
+        (response, record)
     }
 
     /// Streams JSONL requests from `reader` to JSONL responses on
@@ -424,33 +563,66 @@ impl Engine {
         reader: R,
         writer: &mut W,
     ) -> Result<StreamSummary, EngineError> {
+        self.run_stream_with(reader, writer, &mut StreamTelemetry::disabled())
+    }
+
+    /// [`Engine::run_stream`] with per-request telemetry: each request
+    /// appends one run-ledger record (unparseable lines included), the
+    /// registry's request counters/histograms are fed, and long streams
+    /// interleave periodic snapshot records. A disabled
+    /// [`StreamTelemetry`] makes this identical to [`Engine::run_stream`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] — from the transport or the telemetry sinks.
+    pub fn run_stream_with<R: BufRead, W: Write>(
+        &mut self,
+        reader: R,
+        writer: &mut W,
+        telemetry: &mut StreamTelemetry,
+    ) -> Result<StreamSummary, EngineError> {
         let io_err = |e: std::io::Error| EngineError::Io {
             message: e.to_string(),
         };
         let mut summary = StreamSummary::default();
+        // Queue time = wall clock between finishing the previous response
+        // and the engine picking up the next request (stream read + idle).
+        let mut idle_since = Instant::now();
         for (index, line) in reader.lines().enumerate() {
             let line = line.map_err(io_err)?;
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            let response = match ScenarioRequest::parse_line(trimmed, index) {
-                Ok(req) => self.run_request(&req),
-                Err(e) => ScenarioResponse {
-                    id: format!("line{}", index + 1),
-                    ok: false,
-                    requested: String::new(),
-                    ran: None,
-                    degraded: false,
-                    degraded_reason: None,
-                    attempts: 0,
-                    cache_hit: false,
-                    elapsed_ms: 0.0,
-                    elements: None,
-                    peak_mv: None,
-                    notes: Vec::new(),
-                    error: Some(e),
-                },
+            let queue_ms = idle_since.elapsed().as_secs_f64() * 1e3;
+            let (response, record) = match ScenarioRequest::parse_line(trimmed, index) {
+                Ok(req) => self.run_request_recorded(&req, queue_ms),
+                Err(e) => {
+                    let record = RunRecord {
+                        id: format!("line{}", index + 1),
+                        ok: false,
+                        error: Some(e.category().to_string()),
+                        analysis: "unknown".to_string(),
+                        queue_ms,
+                        ..RunRecord::default()
+                    };
+                    let response = ScenarioResponse {
+                        id: format!("line{}", index + 1),
+                        ok: false,
+                        requested: String::new(),
+                        ran: None,
+                        degraded: false,
+                        degraded_reason: None,
+                        attempts: 0,
+                        cache_hit: false,
+                        elapsed_ms: 0.0,
+                        elements: None,
+                        peak_mv: None,
+                        notes: Vec::new(),
+                        error: Some(e),
+                    };
+                    (response, record)
+                }
             };
             summary.total += 1;
             if response.ok {
@@ -461,11 +633,15 @@ impl Engine {
             if response.degraded {
                 summary.degraded += 1;
             }
+            summary.retries += record.retries;
+            telemetry.observe(&record).map_err(io_err)?;
             writeln!(writer, "{}", response.to_json_line()).map_err(io_err)?;
             writer.flush().map_err(io_err)?;
+            idle_since = Instant::now();
         }
         summary.cache_hits = self.cache.hits();
         summary.cache_misses = self.cache.misses();
+        telemetry.finish().map_err(io_err)?;
         Ok(summary)
     }
 }

@@ -1,0 +1,189 @@
+//! The process-wide metrics registry: counters, gauges, and latency
+//! histograms behind a single relaxed-atomic gate.
+//!
+//! The registry is **off by default** and costs exactly one relaxed
+//! atomic load per call site while off — the same discipline as
+//! `vpec_trace` and `VPEC_AUDIT`. [`install`] turns it on and hooks the
+//! [`vpec_trace::set_counter_bridge`] so every existing
+//! `vpec_trace::counter_add` site (cache hits, retries, pool dispatches,
+//! …) surfaces in registry snapshots even when tracing itself is off.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STATE: OnceLock<Mutex<RegistryState>> = OnceLock::new();
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn lock() -> std::sync::MutexGuard<'static, RegistryState> {
+    let state = STATE.get_or_init(|| Mutex::new(RegistryState::default()));
+    match state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// `true` when the registry records. This is the hot-path gate: one
+/// relaxed atomic load.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the registry on and installs the trace→registry counter bridge,
+/// so counters fired through [`vpec_trace::counter_add`] accumulate here
+/// too. Idempotent.
+pub fn install() {
+    vpec_trace::set_counter_bridge(counter_add);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns recording off again (the bridge stays installed but every call
+/// returns after its one-load gate). Test/CLI helper.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears all recorded values without changing the enabled state.
+pub fn reset() {
+    let mut st = lock();
+    *st = RegistryState::default();
+}
+
+/// Adds `delta` to the named monotonic counter. A no-op when the
+/// registry is off.
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    let mut st = lock();
+    match st.counters.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            st.counters.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Sets the named gauge to an instantaneous value. A no-op when the
+/// registry is off.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock();
+    st.gauges.insert(name.to_string(), value);
+}
+
+/// Records one latency observation (milliseconds) into the named
+/// histogram. A no-op when the registry is off.
+pub fn observe_ms(name: &str, value_ms: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock();
+    match st.histograms.get_mut(name) {
+        Some(h) => h.record(value_ms),
+        None => {
+            let mut h = Histogram::new();
+            h.record(value_ms);
+            st.histograms.insert(name.to_string(), h);
+        }
+    }
+}
+
+/// Point-in-time view of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name (empty histograms are omitted).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Snapshots every counter, gauge and histogram. Empty when the registry
+/// is off.
+#[must_use]
+pub fn snapshot() -> RegistrySnapshot {
+    if !enabled() {
+        return RegistrySnapshot::default();
+    }
+    let st = lock();
+    RegistrySnapshot {
+        counters: st.counters.clone(),
+        gauges: st.gauges.clone(),
+        histograms: st
+            .histograms
+            .iter()
+            .filter_map(|(k, h)| h.snapshot().map(|s| (k.clone(), s)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    // The registry is process-global; serialize tests that touch it.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: TestMutex<()> = TestMutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = guard();
+        disable();
+        reset();
+        counter_add("c", 5);
+        gauge_set("g", 1.0);
+        observe_ms("h", 2.0);
+        assert_eq!(snapshot(), RegistrySnapshot::default());
+    }
+
+    #[test]
+    fn enabled_registry_accumulates() {
+        let _g = guard();
+        install();
+        reset();
+        counter_add("requests", 2);
+        counter_add("requests", 3);
+        gauge_set("depth", 7.5);
+        observe_ms("latency", 1.0);
+        observe_ms("latency", 4.0);
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("requests"), Some(&5));
+        assert_eq!(snap.gauges.get("depth"), Some(&7.5));
+        assert_eq!(snap.histograms.get("latency").map(|h| h.count), Some(2));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn trace_counter_bridge_feeds_the_registry() {
+        let _g = guard();
+        install();
+        reset();
+        // Tracing itself stays off — the bridge alone must forward.
+        assert!(!vpec_trace::enabled());
+        vpec_trace::counter_add("bridged.count", 4);
+        assert_eq!(snapshot().counters.get("bridged.count"), Some(&4));
+        disable();
+        reset();
+    }
+}

@@ -36,6 +36,11 @@
 //! (`off` / `summary` / `jsonl:<path>`) on first use, or from the CLI
 //! `--trace[=…]` flag via [`set_mode_spec`].
 //!
+//! JSONL lines carry a monotonic `seq` field, contiguous from 1 per
+//! sink, validated by [`validate_jsonl`]. Counters can additionally be
+//! forwarded to an external registry via [`set_counter_bridge`]
+//! (installed by `vpec-metrics`), independent of the trace mode.
+//!
 //! # Example
 //!
 //! ```
@@ -99,6 +104,47 @@ impl TraceMode {
 const MODE_UNSET: u8 = u8::MAX;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Combined hot-path gate for [`counter_add`]: bit 0 = tracing enabled,
+/// bit 1 = a counter bridge is installed, bit 7 = the trace mode has not
+/// been resolved from the environment yet. Folding both consumers into
+/// one atomic keeps the fully-disabled cost at a single relaxed load.
+const GATE_TRACE: u8 = 0b0000_0001;
+const GATE_BRIDGE: u8 = 0b0000_0010;
+const GATE_UNRESOLVED: u8 = 0b1000_0000;
+
+static GATES: AtomicU8 = AtomicU8::new(GATE_UNRESOLVED);
+static BRIDGE: OnceLock<fn(&str, u64)> = OnceLock::new();
+
+/// Stores a resolved trace mode, keeping the bridge bit intact.
+fn store_mode(m: TraceMode) {
+    MODE.store(m as u8, Ordering::Relaxed);
+    let bridge = GATES.load(Ordering::Relaxed) & GATE_BRIDGE;
+    let trace = if m == TraceMode::Off { 0 } else { GATE_TRACE };
+    GATES.store(bridge | trace, Ordering::Relaxed);
+}
+
+/// The counter gate, resolving the trace mode from the environment on
+/// first use.
+fn gates() -> u8 {
+    let g = GATES.load(Ordering::Relaxed);
+    if g & GATE_UNRESOLVED == 0 {
+        return g;
+    }
+    let _ = mode();
+    GATES.load(Ordering::Relaxed)
+}
+
+/// Installs a process-wide bridge that receives every [`counter_add`]
+/// call — name and delta — *regardless of the trace mode*. The metrics
+/// registry (`vpec-metrics`) uses this so existing trace counters
+/// surface in its snapshots without re-instrumenting call sites. The
+/// first installed bridge wins; installing is idempotent and cannot be
+/// undone (the bridge itself is expected to gate on its own atomic).
+pub fn set_counter_bridge(bridge: fn(&str, u64)) {
+    let _ = BRIDGE.set(bridge);
+    GATES.fetch_or(GATE_BRIDGE, Ordering::Relaxed);
+}
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(0);
 static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -189,6 +235,10 @@ struct InstantEvent {
 
 struct State {
     jsonl: Option<BufWriter<File>>,
+    /// Sequence number stamped on the next JSONL line; restarts at 1
+    /// whenever a sink opens, so every stream is contiguous from 1 and
+    /// post-hoc tools can detect dropped or reordered lines.
+    next_seq: u64,
     open: HashMap<u64, OpenSpan>,
     closed: Vec<ClosedSpan>,
     counters: BTreeMap<String, u64>,
@@ -200,6 +250,7 @@ impl State {
     fn new() -> State {
         State {
             jsonl: None,
+            next_seq: 1,
             open: HashMap::new(),
             closed: Vec::new(),
             counters: BTreeMap::new(),
@@ -209,10 +260,18 @@ impl State {
     }
 
     fn write_line(&mut self, line: &str) {
+        if self.jsonl.is_none() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
         if let Some(w) = self.jsonl.as_mut() {
-            // Per-line flush keeps the file schema-valid even if the
-            // process exits without calling `finish()`.
-            let _ = writeln!(w, "{line}");
+            // `line` is always a JSON object; the monotonic sequence
+            // number is injected as its first field. Per-line flush keeps
+            // the file schema-valid even if the process exits without
+            // calling `finish()`.
+            let rest = line.strip_prefix('{').unwrap_or(line);
+            let _ = writeln!(w, "{{\"seq\":{seq},{rest}");
             let _ = w.flush();
         }
     }
@@ -253,7 +312,7 @@ pub fn mode() -> TraceMode {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("warning: invalid VPEC_TRACE ({e}); tracing disabled");
-                    MODE.store(TraceMode::Off as u8, Ordering::Relaxed);
+                    store_mode(TraceMode::Off);
                     TraceMode::Off
                 }
             }
@@ -318,8 +377,9 @@ pub fn set_mode_spec(spec: &str) -> Result<TraceMode, String> {
             let _ = old.flush();
         }
         st.jsonl = Some(BufWriter::new(file));
+        st.next_seq = 1;
         drop(st);
-        MODE.store(TraceMode::Jsonl as u8, Ordering::Relaxed);
+        store_mode(TraceMode::Jsonl);
         return Ok(TraceMode::Jsonl);
     }
     // Off / Summary: drop any previous jsonl sink.
@@ -329,7 +389,7 @@ pub fn set_mode_spec(spec: &str) -> Result<TraceMode, String> {
             let _ = old.flush();
         }
     }
-    MODE.store(resolved as u8, Ordering::Relaxed);
+    store_mode(resolved);
     Ok(resolved)
 }
 
@@ -341,7 +401,7 @@ pub fn reset(spec: &str) -> Result<TraceMode, String> {
         let mut st = lock_state();
         *st = State::new();
     }
-    MODE.store(TraceMode::Off as u8, Ordering::Relaxed);
+    store_mode(TraceMode::Off);
     set_mode_spec(spec)
 }
 
@@ -523,9 +583,21 @@ pub fn parent_scope(parent: Option<u64>) -> ParentScope {
     }
 }
 
-/// Adds `delta` to the named counter. A no-op when tracing is off.
+/// Adds `delta` to the named counter. Forwarded to the
+/// [`set_counter_bridge`] hook when one is installed (even with tracing
+/// off); recorded by the tracer only when tracing is on. When both are
+/// off the call costs one relaxed atomic load.
 pub fn counter_add(name: &str, delta: u64) {
-    if !enabled() || delta == 0 {
+    let g = gates();
+    if g == 0 || delta == 0 {
+        return;
+    }
+    if g & GATE_BRIDGE != 0 {
+        if let Some(bridge) = BRIDGE.get() {
+            bridge(name, delta);
+        }
+    }
+    if g & GATE_TRACE == 0 {
         return;
     }
     let mut st = lock_state();
@@ -827,13 +899,16 @@ pub struct JsonlSummary {
 }
 
 /// Validates a JSONL trace stream: every line parses as a JSON object
-/// with a known `ev` tag, every `close` refers to a previously opened
-/// span id, and no id is opened twice.
+/// with a known `ev` tag and a monotonic `seq` field contiguous from 1
+/// (so dropped or reordered lines from concurrent sinks are detected),
+/// every `close` refers to a previously opened span id, and no id is
+/// opened twice.
 pub fn validate_jsonl(content: &str) -> Result<JsonlSummary, String> {
     let mut summary = JsonlSummary::default();
     let mut open_ids: HashMap<u64, ()> = HashMap::new();
     let mut span_names: Vec<String> = Vec::new();
     let mut instant_names: Vec<String> = Vec::new();
+    let mut expected_seq: u64 = 1;
     for (lineno, line) in content.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -841,6 +916,16 @@ pub fn validate_jsonl(content: &str) -> Result<JsonlSummary, String> {
         }
         let n = lineno + 1;
         let v = json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let seq = v
+            .get("seq")
+            .and_then(json::JsonValue::as_u64)
+            .ok_or_else(|| format!("line {n}: missing or non-integer \"seq\" field"))?;
+        if seq != expected_seq {
+            return Err(format!(
+                "line {n}: expected seq {expected_seq}, got {seq} (dropped or reordered lines)"
+            ));
+        }
+        expected_seq += 1;
         let ev = v
             .get("ev")
             .and_then(json::JsonValue::as_str)
@@ -1021,19 +1106,26 @@ mod tests {
     fn validator_rejects_malformed_streams() {
         let _g = guard();
         assert!(validate_jsonl("not json\n").is_err());
-        assert!(validate_jsonl("{\"ev\":\"close\",\"id\":1}\n").is_err());
+        assert!(validate_jsonl("{\"seq\":1,\"ev\":\"close\",\"id\":1}\n").is_err());
         assert!(
             validate_jsonl(
-                "{\"ev\":\"open\",\"id\":1,\"parent\":null,\"name\":\"a\",\"thread\":0,\"t_us\":0}\n\
-                 {\"ev\":\"open\",\"id\":1,\"parent\":null,\"name\":\"b\",\"thread\":0,\"t_us\":1}\n"
+                "{\"seq\":1,\"ev\":\"open\",\"id\":1,\"parent\":null,\"name\":\"a\",\"thread\":0,\"t_us\":0}\n\
+                 {\"seq\":2,\"ev\":\"open\",\"id\":1,\"parent\":null,\"name\":\"b\",\"thread\":0,\"t_us\":1}\n"
             )
             .is_err()
         );
-        assert!(validate_jsonl("{\"ev\":\"mystery\"}\n").is_err());
-        let good = "{\"ev\":\"open\",\"id\":1,\"parent\":null,\"name\":\"a\",\"thread\":0,\"t_us\":0}\n\
-                    {\"ev\":\"close\",\"id\":1,\"name\":\"a\",\"t_us\":5,\"dur_us\":5}\n\
-                    {\"ev\":\"finish\",\"t_us\":6}\n";
+        assert!(validate_jsonl("{\"seq\":1,\"ev\":\"mystery\"}\n").is_err());
+        let good = "{\"seq\":1,\"ev\":\"open\",\"id\":1,\"parent\":null,\"name\":\"a\",\"thread\":0,\"t_us\":0}\n\
+                    {\"seq\":2,\"ev\":\"close\",\"id\":1,\"name\":\"a\",\"t_us\":5,\"dur_us\":5}\n\
+                    {\"seq\":3,\"ev\":\"finish\",\"t_us\":6}\n";
         assert!(validate_jsonl(good).is_ok());
+        // Sequence numbers must be present and contiguous from 1.
+        let unnumbered = "{\"ev\":\"open\",\"id\":1,\"parent\":null,\"name\":\"a\",\"thread\":0,\"t_us\":0}\n";
+        let err = validate_jsonl(unnumbered).unwrap_err();
+        assert!(err.contains("seq"), "{err}");
+        let gap = good.replace("\"seq\":3", "\"seq\":9");
+        let err = validate_jsonl(&gap).unwrap_err();
+        assert!(err.contains("expected seq 3"), "{err}");
     }
 
     #[test]

@@ -45,7 +45,9 @@ cargo run --release -q -p vpec-bench --bin perf -- --quick --out "$smoke_json"
 for key in '"bench": "perf"' '"available_parallelism"' '"phases"' \
            '"serial_seconds"' '"parallel_seconds"' '"speedup"' '"max_abs_diff"' \
            '"iterative_crossover"' '"waveform_peak"' '"max_abs_diff_vs_dense"' \
-           '"lint"' '"wall_seconds"' '"files_scanned"' '"lines_scanned"'; do
+           '"lint"' '"wall_seconds"' '"files_scanned"' '"lines_scanned"' \
+           '"service_levels"' '"p50_ms"' '"p99_ms"' '"model_hit_ratio"' \
+           '"factor_hit_ratio"' '"degraded_pct"'; do
   if ! grep -q "$key" "$smoke_json"; then
     echo "BENCH_perf smoke output is malformed: missing $key" >&2
     exit 1
@@ -110,23 +112,32 @@ paste -d, "$direct_csv" "$iter_csv" | awk -F, '
     }
   }'
 
-echo "==> batch engine smoke run (vpec batch, request isolation + degradation)"
+echo "==> batch engine smoke run (vpec batch, request isolation + degradation + ledger)"
 batch_in="target/batch_smoke_in.jsonl"
 batch_out="target/batch_smoke_out.jsonl"
-# Five-request mix: two healthy (same geometry — the second must be a
+batch_err="target/batch_smoke_err.txt"
+batch_ledger="target/batch_smoke_ledger.jsonl"
+# Six-request mix: two healthy (same geometry — the second must be a
 # cache hit), one over-budget full-inversion request (must degrade to
-# wVPEC), one fault-injected panic (must fail with a typed error), one
-# healthy windowed request. The batch as a whole must exit 0.
+# wVPEC), one fault-injected panic (must consume one retry and fail with
+# a typed error), one healthy windowed request, one AC sweep. The batch
+# as a whole must exit 0 and leave one schema-valid ledger record per
+# request behind.
 cat > "$batch_in" <<'EOF'
 {"id":"ok-1","bits":3,"kind":"wvpec-g:2","t_stop":5e-11}
 {"id":"ok-2","bits":3,"kind":"wvpec-g:2","t_stop":5e-11}
 {"id":"over-budget","bits":8,"kind":"vpec-full","t_stop":5e-11}
 {"id":"boom","bits":3,"kind":"wvpec-g:2","t_stop":5e-11,"faults":{"panic_engine":true}}
 {"id":"ok-3","bits":4,"kind":"wvpec-g:2","t_stop":5e-11}
+{"id":"ac-1","bits":3,"kind":"wvpec-g:2","analysis":"ac","points_per_decade":2}
 EOF
+# With -o the summary goes to stdout (stderr carries the injected panic's
+# backtrace); capture both so the summary assertion below sees it.
 timeout 120 cargo run --release -q -p vpec-cli --bin vpec -- \
-  batch --in "$batch_in" --max-dim 6 --retries 0 --degrade-window 2 -o "$batch_out"
-[ "$(wc -l < "$batch_out")" -eq 5 ] || { echo "batch smoke: expected 5 response lines" >&2; exit 1; }
+  batch --in "$batch_in" --max-dim 6 --retries 1 --backoff-ms 1 --degrade-window 2 \
+  --ledger "$batch_ledger" -o "$batch_out" > "$batch_err" 2>&1
+grep "^batch:" "$batch_err" || true
+[ "$(wc -l < "$batch_out")" -eq 6 ] || { echo "batch smoke: expected 6 response lines" >&2; exit 1; }
 # Every line is valid JSON with the response schema (the trace bin's
 # validator is for trace streams, so lean on python-free grep checks).
 while IFS= read -r line; do
@@ -143,6 +154,39 @@ grep -q '"id":"over-budget","status":"ok".*"degraded":true.*"degraded_reason":"b
 grep -q '"id":"boom","status":"failed".*"category":"panic"' "$batch_out" \
   || { echo "batch smoke: boom must fail with a typed panic error" >&2; exit 1; }
 grep -q '"id":"ok-3","status":"ok"' "$batch_out" || { echo "batch smoke: ok-3 must succeed" >&2; exit 1; }
+grep -q '"id":"ac-1","status":"ok"' "$batch_out" || { echo "batch smoke: ac-1 must succeed" >&2; exit 1; }
+# The summary must count the retry the panic consumed.
+grep -q '1 retries' "$batch_err" || { echo "batch smoke: summary must report 1 retry" >&2; exit 1; }
+# One run-ledger record per request, contiguous seq (vpec stats validates
+# the schema before aggregating — a dropped or reordered line fails it).
+[ "$(wc -l < "$batch_ledger")" -eq 6 ] || { echo "batch smoke: expected 6 ledger records" >&2; exit 1; }
+
+echo "==> fleet stats smoke run (vpec stats over the batch ledger, --fail-if gates)"
+stats_json="target/batch_smoke_stats.json"
+timeout 120 cargo run --release -q -p vpec-cli --bin vpec -- \
+  stats "$batch_ledger" --format json > "$stats_json"
+# The known batch composition must survive the ledger round trip.
+for key in '"total":6' '"ok":5' '"failed":1' '"degraded":1' '"retries":1' \
+           '"latency_ms"' '"p99_ms"' '"cache"' '"strategies"' \
+           '"degraded_reasons":{"budget":1}' '"errors":{"panic":1}' '"throughput"'; do
+  if ! grep -q "$key" "$stats_json"; then
+    echo "vpec stats output is malformed: missing $key" >&2
+    cat "$stats_json" >&2
+    exit 1
+  fi
+done
+# A generous threshold passes (exit 0)...
+timeout 120 cargo run --release -q -p vpec-cli --bin vpec -- \
+  stats "$batch_ledger" --fail-if 'p99>60s' > /dev/null
+# ...and a breached one fails with the runtime exit code (1, not a crash).
+set +e
+timeout 120 cargo run --release -q -p vpec-cli --bin vpec -- \
+  stats "$batch_ledger" --fail-if 'degraded>0%' > /dev/null 2> target/batch_smoke_failif.txt
+failif_rc=$?
+set -e
+[ "$failif_rc" -eq 1 ] || { echo "vpec stats --fail-if must exit 1 on a breach (got $failif_rc)" >&2; exit 1; }
+grep -q 'fail-if breached' target/batch_smoke_failif.txt \
+  || { echo "vpec stats --fail-if breach must name the breached condition" >&2; exit 1; }
 
 echo "==> trace JSONL smoke run (model --trace=jsonl, schema validation)"
 trace_jsonl="target/trace_smoke.jsonl"
